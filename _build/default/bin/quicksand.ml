@@ -1,0 +1,285 @@
+(* quicksand — command-line front end for the AS-level Tor attack toolkit.
+
+   Each subcommand reproduces one experiment of "Anonymity on QuickSand"
+   (HotNets-XIII 2014) on a freshly built (seeded) scenario. *)
+
+open Cmdliner
+
+let fmt = Format.std_formatter
+
+(* ---- common options -------------------------------------------------- *)
+
+let seed =
+  let doc = "Experiment seed; equal seeds give identical scenarios." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let scale =
+  let doc = "Scenario size: $(b,paper) (~2400 ASes, 4586 relays) or $(b,small)." in
+  Arg.(value & opt (enum [ ("paper", Scenario.Paper); ("small", Scenario.Small) ])
+         Scenario.Small
+       & info [ "scale" ] ~docv:"SIZE" ~doc)
+
+let days =
+  let doc = "Simulated measurement duration in days." in
+  Arg.(value & opt float 2. & info [ "days" ] ~docv:"DAYS" ~doc)
+
+let build_scenario seed scale =
+  let s = Scenario.build ~seed scale in
+  Format.printf
+    "scenario: %d ASes, %d links, %d prefixes, %d relays, %d collector sessions (seed %d)@."
+    (As_graph.num_ases s.Scenario.graph)
+    (As_graph.num_links s.Scenario.graph)
+    (Addressing.count s.Scenario.addressing)
+    (Consensus.n_relays s.Scenario.consensus)
+    (List.length (Scenario.sessions s))
+    seed;
+  s
+
+let dynamics_for days =
+  { Dynamics.default_config with Dynamics.duration = days *. 86_400. }
+
+let measure scenario days =
+  Format.printf "simulating %.1f days of BGP...@." days;
+  Measurement.run ~dynamics:(dynamics_for days) scenario
+
+(* ---- subcommands ------------------------------------------------------ *)
+
+let dataset_cmd =
+  let run seed scale days =
+    let s = build_scenario seed scale in
+    Dataset.print fmt (Dataset.compute (measure s days))
+  in
+  Cmd.v (Cmd.info "dataset" ~doc:"T1: the §4 dataset summary table")
+    Term.(const run $ seed $ scale $ days)
+
+let concentration_cmd =
+  let run seed scale =
+    let s = build_scenario seed scale in
+    Concentration.print fmt (Concentration.compute s)
+  in
+  Cmd.v (Cmd.info "concentration" ~doc:"F2L: relay concentration across ASes")
+    Term.(const run $ seed $ scale)
+
+let path_changes_cmd =
+  let run seed scale days =
+    let s = build_scenario seed scale in
+    Path_changes.print fmt (Path_changes.compute (measure s days))
+  in
+  Cmd.v (Cmd.info "path-changes" ~doc:"F3L: Tor-prefix path-change CCDF")
+    Term.(const run $ seed $ scale $ days)
+
+let extra_ases_cmd =
+  let run seed scale days threshold =
+    let s = build_scenario seed scale in
+    As_exposure.print fmt
+      (As_exposure.compute ~threshold (measure s days))
+  in
+  let threshold =
+    Arg.(value & opt float 300. & info [ "threshold" ] ~docv:"SECONDS"
+           ~doc:"Residency threshold for an AS to count as exposed.")
+  in
+  Cmd.v (Cmd.info "extra-ases" ~doc:"F3R: extra-ASes-over-time CCDF")
+    Term.(const run $ seed $ scale $ days $ threshold)
+
+let compromise_cmd =
+  let run seed =
+    let rng = Rng.of_int seed in
+    Compromise.print fmt (Compromise.compute ~rng ())
+  in
+  Cmd.v (Cmd.info "compromise" ~doc:"M1: the 1-(1-f)^(l*x) model, checked by Monte-Carlo")
+    Term.(const run $ seed)
+
+let asym_cmd =
+  let run seed mb flows =
+    let rng = Rng.of_int seed in
+    let r = Asymmetric.run ~rng ~size:(mb * 1024 * 1024) () in
+    Asymmetric.print fmt r;
+    Asymmetric.print_matching fmt (Asymmetric.deanonymize ~rng ~n_flows:flows ())
+  in
+  let mb =
+    Arg.(value & opt int 40 & info [ "mb" ] ~docv:"MB" ~doc:"Transfer size.")
+  in
+  let flows =
+    Arg.(value & opt int 6 & info [ "flows" ] ~docv:"N"
+           ~doc:"Concurrent circuits in the matching experiment.")
+  in
+  Cmd.v (Cmd.info "asym" ~doc:"F2R: asymmetric traffic analysis on a simulated circuit")
+    Term.(const run $ seed $ mb $ flows)
+
+let hijack_cmd =
+  let run seed scale trials clients =
+    let s = build_scenario seed scale in
+    let rng = Scenario.rng_for s "hijack" in
+    Deanonymization.print_hijack fmt
+      (Deanonymization.hijack ~rng ~n_trials:trials ~n_clients:clients s)
+  in
+  let trials =
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N" ~doc:"Attack trials.")
+  in
+  let clients =
+    Arg.(value & opt int 40 & info [ "clients" ] ~docv:"N" ~doc:"Clients per trial.")
+  in
+  Cmd.v (Cmd.info "hijack" ~doc:"A1: guard-prefix hijack and anonymity sets")
+    Term.(const run $ seed $ scale $ trials $ clients)
+
+let intercept_cmd =
+  let run seed scale trials =
+    let s = build_scenario seed scale in
+    let rng = Scenario.rng_for s "interception" in
+    Deanonymization.print_interception fmt
+      (Deanonymization.interception ~rng ~n_trials:trials s)
+  in
+  let trials =
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N" ~doc:"Attack trials.")
+  in
+  Cmd.v (Cmd.info "intercept" ~doc:"A2: guard-prefix interception and deanonymization")
+    Term.(const run $ seed $ scale $ trials)
+
+let defend_cmd =
+  let run seed scale =
+    let s = build_scenario seed scale in
+    Countermeasures.print_selection fmt
+      (Countermeasures.selection ~rng:(Scenario.rng_for s "selection") s);
+    Countermeasures.print_stealth fmt
+      (Countermeasures.stealth_resilience ~rng:(Scenario.rng_for s "stealth") s);
+    Countermeasures.print_monitoring fmt
+      (Countermeasures.monitoring ~rng:(Scenario.rng_for s "monitoring") s)
+  in
+  Cmd.v (Cmd.info "defend" ~doc:"C1: evaluate the §5 countermeasures")
+    Term.(const run $ seed $ scale)
+
+let rov_cmd =
+  let run seed scale trials =
+    let s = build_scenario seed scale in
+    let rng = Scenario.rng_for s "rov" in
+    Bgp_security.print fmt (Bgp_security.sweep ~rng ~n_trials:trials s)
+  in
+  let trials =
+    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc:"Trials per point.")
+  in
+  Cmd.v (Cmd.info "rov" ~doc:"X1: RPKI/ROV deployment vs hijack and interception")
+    Term.(const run $ seed $ scale $ trials)
+
+let asymmetry_cmd =
+  let run seed scale pairs =
+    let s = build_scenario seed scale in
+    let rng = Scenario.rng_for s "asymmetry" in
+    Route_asymmetry.print fmt (Route_asymmetry.compute ~rng ~n_pairs:pairs s)
+  in
+  let pairs =
+    Arg.(value & opt int 40 & info [ "pairs" ] ~docv:"N" ~doc:"(client, guard) pairs.")
+  in
+  Cmd.v (Cmd.info "asymmetry" ~doc:"X2: forward vs reverse AS exposure (§3.3)")
+    Term.(const run $ seed $ scale $ pairs)
+
+let long_term_cmd =
+  let run seed scale horizon =
+    let s = build_scenario seed scale in
+    let rng = Scenario.rng_for s "long-term" in
+    Long_term.print fmt (Long_term.compare_designs ~rng ~horizon_days:horizon s)
+  in
+  let horizon =
+    Arg.(value & opt int 120 & info [ "horizon" ] ~docv:"DAYS"
+           ~doc:"Days of daily communication to simulate.")
+  in
+  Cmd.v (Cmd.info "long-term" ~doc:"M2: guard designs vs long-term AS-level compromise")
+    Term.(const run $ seed $ scale $ horizon)
+
+let topology_cmd =
+  let run seed scale out =
+    let s = build_scenario seed scale in
+    let data = As_graph.to_caida_string s.Scenario.graph in
+    match out with
+    | None -> print_string data
+    | Some path ->
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc data);
+        Format.printf "wrote %s@." path
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of stdout.")
+  in
+  Cmd.v (Cmd.info "topology" ~doc:"Dump the AS graph in CAIDA as-rel format")
+    Term.(const run $ seed $ scale $ out)
+
+let consensus_cmd =
+  let run seed scale out =
+    let s = build_scenario seed scale in
+    let data = Consensus.to_string s.Scenario.consensus in
+    match out with
+    | None -> print_string data
+    | Some path ->
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc data);
+        Format.printf "wrote %s@." path
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of stdout.")
+  in
+  Cmd.v (Cmd.info "consensus" ~doc:"Dump the synthetic Tor consensus")
+    Term.(const run $ seed $ scale $ out)
+
+let mrt_cmd =
+  let run seed scale hours out =
+    let s = build_scenario seed scale in
+    let dynamics =
+      { Dynamics.short_config with Dynamics.duration = hours *. 3600. }
+    in
+    let rng = Scenario.rng_for s "mrt-dump" in
+    let buf = Buffer.create (1 lsl 20) in
+    let local_ip = Ipv4.of_string "192.0.2.254" in
+    let session_ip =
+      Scenario.sessions s
+      |> List.map (fun (sess : Collector.session) ->
+          (sess.Collector.id, sess.Collector.peer_ip))
+    in
+    let count = ref 0 in
+    let emit (u : Update.t) =
+      let peer_ip =
+        match
+          List.find_opt (fun (id, _) -> Update.session_equal id u.Update.session)
+            session_ip
+        with
+        | Some (_, ip) -> ip
+        | None -> local_ip
+      in
+      Mrt.encode_record buf
+        (Mrt.record_of_update ~local_as:(Asn.of_int 12654) ~local_ip ~peer_ip u);
+      incr count
+    in
+    let _, stats = Dynamics.run ~rng dynamics s.Scenario.world ~emit in
+    let data = Buffer.contents buf in
+    Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc data);
+    Format.printf
+      "wrote %s: %d MRT records (%d bytes) from %d churn events; decode check: %d records@."
+      out !count (String.length data) stats.Dynamics.churn_events
+      (List.length (Mrt.decode data))
+  in
+  let hours =
+    Arg.(value & opt float 4. & info [ "hours" ] ~docv:"H"
+           ~doc:"Simulated duration of the dump.")
+  in
+  let out =
+    Arg.(value & opt string "updates.mrt" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output MRT file.")
+  in
+  Cmd.v
+    (Cmd.info "mrt-dump"
+       ~doc:"Simulate collector sessions and write their updates as an MRT file")
+    Term.(const run $ seed $ scale $ hours $ out)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "quicksand" ~version:"1.0.0"
+      ~doc:"AS-level BGP attacks on Tor — reproduction toolkit for HotNets-XIII 'Anonymity on QuickSand'"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ dataset_cmd; concentration_cmd; path_changes_cmd; extra_ases_cmd;
+            compromise_cmd; asym_cmd; hijack_cmd; intercept_cmd; defend_cmd;
+            rov_cmd; asymmetry_cmd; long_term_cmd;
+            topology_cmd; consensus_cmd; mrt_cmd ]))

@@ -1,0 +1,1 @@
+examples/asymmetric_analysis.ml: Array Asymmetric Float Format List Printf Rng String

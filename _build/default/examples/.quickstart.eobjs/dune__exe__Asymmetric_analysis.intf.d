@@ -1,0 +1,1 @@
+examples/asymmetric_analysis.mli:

@@ -1,0 +1,1 @@
+examples/bgp_dynamics.ml: Addressing Anonymity Asn Dynamics Float Format Int List Measurement Option Prefix Scenario Session_reset Stats String Update

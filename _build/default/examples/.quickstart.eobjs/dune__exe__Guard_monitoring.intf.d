@@ -1,0 +1,1 @@
+examples/guard_monitoring.mli:

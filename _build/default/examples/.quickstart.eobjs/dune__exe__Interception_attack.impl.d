@@ -1,0 +1,1 @@
+examples/interception_attack.ml: Addressing Announcement Asn Asymmetric Format Guard_inference Interception Ipv4 List Option Path_selection Prefix Relay Scenario

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addressing Announcement Anonymity Array As_graph Asn Asymmetric Consensus Format Interception Ipv4 List Option Path_selection Prefix Propagate Relay Scenario String

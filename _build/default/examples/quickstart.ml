@@ -1,0 +1,89 @@
+(* Quickstart: build a synthetic Internet, run Tor on top of it, and watch
+   an AS-level adversary end a client's anonymity.
+
+     dune exec examples/quickstart.exe                                    *)
+
+let pf = Format.printf
+
+let () =
+  (* 1. A seeded scenario: AS topology, BGP table, collectors, consensus. *)
+  let scenario = Scenario.build ~seed:42 Scenario.Small in
+  pf "Internet: %d ASes, %d links; Tor: %d relays in %d ASes@."
+    (As_graph.num_ases scenario.Scenario.graph)
+    (As_graph.num_links scenario.Scenario.graph)
+    (Consensus.n_relays scenario.Scenario.consensus)
+    (Asn.Set.cardinal
+       (Array.fold_left
+          (fun acc (r : Relay.t) -> Asn.Set.add r.Relay.asn acc)
+          Asn.Set.empty scenario.Scenario.consensus.Consensus.relays));
+
+  (* 2. A client in some stub AS picks its guards and builds a circuit. *)
+  let rng = Scenario.rng_for scenario "quickstart" in
+  let client_as = Scenario.random_client_as ~rng scenario in
+  let client_ip = Addressing.address_in ~rng scenario.Scenario.addressing client_as in
+  let client =
+    Path_selection.make_client ~rng scenario.Scenario.consensus ~id:0
+      ~asn:client_as ~ip:client_ip 0.
+  in
+  let circuit =
+    Path_selection.build_circuit ~rng scenario.Scenario.consensus
+      ~guards:client.Path_selection.guard_set
+  in
+  pf "client %a (in %a) built circuit %a@." Ipv4.pp client_ip Asn.pp client_as
+    Path_selection.pp_circuit circuit;
+
+  (* 3. Which ASes see the entry segment? Compute the data-plane walk from
+     the client's AS to the guard's BGP prefix. *)
+  let guard = circuit.Path_selection.guard in
+  let entry_ases =
+    match Scenario.guard_announcement scenario guard with
+    | Some ann ->
+        let outcome = Propagate.compute scenario.Scenario.indexed [ ann ] in
+        Option.value ~default:[] (Propagate.forwarding_path outcome client_as)
+    | None -> []
+  in
+  pf "entry segment (client -> guard) crosses: %s@."
+    (String.concat " " (List.map Asn.to_string entry_ases));
+  let x = List.length entry_ases in
+  pf "with f = 5%% malicious ASes and x = %d exposed ASes: P[compromise] = %.3f (3 guards: %.3f)@."
+    x
+    (Anonymity.compromise_probability ~f:0.05 ~x)
+    (Anonymity.multi_guard_probability ~f:0.05 ~x ~l:3);
+
+  (* 4. An adversary AS intercepts the guard's prefix (§3.2). *)
+  match Scenario.guard_announcement scenario guard with
+  | None -> pf "guard unrouted?!@."
+  | Some victim ->
+      let attacker =
+        let rec pick () =
+          let a = Scenario.random_client_as ~rng scenario in
+          if Asn.equal a victim.Announcement.origin || Asn.equal a client_as then
+            pick ()
+          else a
+        in
+        pick ()
+      in
+      let i =
+        Interception.run scenario.Scenario.indexed ~victim ~attacker ()
+      in
+      pf "@.%a intercepts %a (guard %a's prefix):@." Asn.pp attacker Prefix.pp
+        victim.Announcement.prefix Ipv4.pp guard.Relay.ip;
+      pf "  captures %d ASes (%.0f%% of the Internet), feasible: %b@."
+        (List.length i.Interception.captured)
+        (100. *. i.Interception.capture_fraction)
+        i.Interception.feasible;
+      (match i.Interception.return_path with
+       | Some walk ->
+           pf "  captured traffic flows on to the real guard via %s@."
+             (String.concat " " (List.map Asn.to_string walk))
+       | None -> ());
+      if Interception.observes i client_as then begin
+        pf "  the client's AS is captured: the adversary sees client -> guard traffic.@.";
+        (* 5. ...and timing analysis finishes the job (§3.3). *)
+        let m = Asymmetric.deanonymize ~rng ~n_flows:5 ~size:(2 * 1024 * 1024) () in
+        pf "  timing correlation singles the client out of %d concurrent flows: %d/%d matched.@."
+          m.Asymmetric.n_flows m.Asymmetric.correct m.Asymmetric.n_flows
+      end
+      else
+        pf "  this client's AS escaped; %.0f%% of client locations would not have.@."
+          (100. *. i.Interception.capture_fraction)

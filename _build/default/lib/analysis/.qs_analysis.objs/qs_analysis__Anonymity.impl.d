@@ -1,0 +1,1 @@
+lib/analysis/anonymity.ml: Array Float List Rng

@@ -1,0 +1,1 @@
+lib/analysis/ccdf.ml: Array Float List

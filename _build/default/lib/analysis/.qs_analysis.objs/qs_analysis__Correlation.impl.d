@@ -1,0 +1,1 @@
+lib/analysis/correlation.ml: Array Float List

@@ -1,0 +1,50 @@
+let check_f f =
+  if f < 0. || f > 1. then invalid_arg "Anonymity: f must be in [0, 1]"
+
+let compromise_probability ~f ~x =
+  check_f f;
+  if x < 0 then invalid_arg "Anonymity: x must be non-negative";
+  1. -. ((1. -. f) ** float_of_int x)
+
+let multi_guard_probability ~f ~x ~l =
+  if l < 0 then invalid_arg "Anonymity: l must be non-negative";
+  compromise_probability ~f ~x:(l * x)
+
+let monte_carlo_compromise ~rng ~trials ~universe ~f ~exposed =
+  check_f f;
+  if trials <= 0 || universe <= 0 || exposed < 0 || exposed > universe then
+    invalid_arg "Anonymity.monte_carlo_compromise: bad parameters";
+  let hits = ref 0 in
+  let ids = Array.init universe (fun i -> i) in
+  for _ = 1 to trials do
+    (* Only the [exposed] observing ASes matter: each is malicious
+       independently with probability f, but we draw them as distinct ASes
+       from the universe to mirror the model's setup. *)
+    let observers = Rng.sample_without_replacement rng exposed ids in
+    if List.exists (fun _ -> Rng.float rng 1.0 < f) observers then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials
+
+let time_to_compromise ~rng ~per_instance ~max_instances =
+  check_f per_instance;
+  let rec loop i =
+    if i > max_instances then None
+    else if Rng.float rng 1.0 < per_instance then Some i
+    else loop (i + 1)
+  in
+  loop 1
+
+let entropy dist =
+  let sum = List.fold_left ( +. ) 0. dist in
+  if Float.abs (sum -. 1.) > 1e-6 then
+    invalid_arg "Anonymity.entropy: distribution does not sum to 1";
+  List.fold_left
+    (fun acc p ->
+       if p < 0. then invalid_arg "Anonymity.entropy: negative probability"
+       else if p = 0. then acc
+       else acc -. (p *. (log p /. log 2.)))
+    0. dist
+
+let anonymity_set_entropy n =
+  if n <= 0 then invalid_arg "Anonymity.anonymity_set_entropy: empty set";
+  log (float_of_int n) /. log 2.

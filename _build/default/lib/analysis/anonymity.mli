@@ -1,0 +1,34 @@
+(** Anonymity metrics: the §3.1 analytic compromise model and friends.
+
+    The paper's model: if each AS is malicious independently with
+    probability [f] and the paths between a client and one guard cross [x]
+    distinct ASes over time, the chance that at least one observing AS is
+    malicious is [1 - (1-f)^x]; with [l] guards it becomes
+    [1 - (1-f)^(l*x)]. *)
+
+val compromise_probability : f:float -> x:int -> float
+(** @raise Invalid_argument unless [0 <= f <= 1] and [x >= 0]. *)
+
+val multi_guard_probability : f:float -> x:int -> l:int -> float
+(** [1 - (1-f)^(l*x)]. @raise Invalid_argument as above, or [l < 0]. *)
+
+val monte_carlo_compromise :
+  rng:Rng.t -> trials:int -> universe:int -> f:float -> exposed:int -> float
+(** Empirical estimate to validate the closed form: draw a malicious set
+    (each of [universe] ASes malicious w.p. [f]) and a set of [exposed]
+    distinct observing ASes per trial; return the fraction of trials where
+    they intersect. @raise Invalid_argument on nonsensical inputs. *)
+
+val time_to_compromise :
+  rng:Rng.t -> per_instance:float -> max_instances:int -> int option
+(** Number of communication instances until first compromise when each
+    instance is compromised independently with [per_instance]; [None] if
+    it never happens within [max_instances]. *)
+
+val entropy : float list -> float
+(** Shannon entropy (bits) of a probability distribution; raises
+    [Invalid_argument] if it does not sum to ~1 or has negatives. *)
+
+val anonymity_set_entropy : int -> float
+(** Entropy of a uniform anonymity set of the given size (bits);
+    [anonymity_set_entropy 1 = 0.]. *)

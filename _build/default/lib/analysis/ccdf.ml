@@ -1,0 +1,38 @@
+type t = { sorted : float array }
+
+let of_samples = function
+  | [] -> invalid_arg "Ccdf.of_samples: empty sample"
+  | xs ->
+      let sorted = Array.of_list xs in
+      Array.sort Float.compare sorted;
+      { sorted }
+
+let size t = Array.length t.sorted
+
+(* Index of the first element >= x, by binary search. *)
+let lower_bound t x =
+  let n = Array.length t.sorted in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.sorted.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let at t x =
+  let n = Array.length t.sorted in
+  float_of_int (n - lower_bound t x) /. float_of_int n
+
+let points t =
+  let n = Array.length t.sorted in
+  let rec distinct i acc =
+    if i >= n then List.rev acc
+    else if i > 0 && t.sorted.(i) = t.sorted.(i - 1) then distinct (i + 1) acc
+    else distinct (i + 1) ((t.sorted.(i), at t t.sorted.(i)) :: acc)
+  in
+  distinct 0 []
+
+let eval_at t xs = List.map (fun x -> (x, at t x)) xs
+
+let quantile_where t q =
+  List.find_map (fun (x, p) -> if p <= q then Some x else None) (points t)

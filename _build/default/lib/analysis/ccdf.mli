@@ -1,0 +1,22 @@
+(** Complementary cumulative distribution functions — the paper presents
+    both panels of Figure 3 as CCDFs. *)
+
+type t
+
+val of_samples : float list -> t
+(** @raise Invalid_argument on an empty sample. *)
+
+val at : t -> float -> float
+(** [at t x] = fraction of samples [>= x], in [\[0, 1\]]. *)
+
+val points : t -> (float * float) list
+(** The distinct sample values [x] ascending, each with [at t x]. *)
+
+val size : t -> int
+
+val eval_at : t -> float list -> (float * float) list
+(** CCDF sampled at the given x values (for printing fixed tables). *)
+
+val quantile_where : t -> float -> float option
+(** [quantile_where t q] = the smallest x with [at t x <= q], if any:
+    "the value past which only a fraction q of cases remain". *)

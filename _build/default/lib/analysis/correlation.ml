@@ -1,0 +1,78 @@
+let check a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Correlation: length mismatch";
+  if Array.length a < 2 then invalid_arg "Correlation: need at least 2 points"
+
+let pearson a b =
+  check a b;
+  let n = float_of_int (Array.length a) in
+  let sum = Array.fold_left ( +. ) 0. in
+  let ma = sum a /. n and mb = sum b /. n in
+  let cov = ref 0. and va = ref 0. and vb = ref 0. in
+  Array.iteri
+    (fun i x ->
+       let dx = x -. ma and dy = b.(i) -. mb in
+       cov := !cov +. (dx *. dy);
+       va := !va +. (dx *. dx);
+       vb := !vb +. (dy *. dy))
+    a;
+  if !va = 0. || !vb = 0. then 0. else !cov /. sqrt (!va *. !vb)
+
+let ranks a =
+  let n = Array.length a in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare a.(i) a.(j)) order;
+  let r = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    (* average rank across the tie group *)
+    let j = ref !i in
+    while !j + 1 < n && a.(order.(!j + 1)) = a.(order.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j) /. 2. in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman a b =
+  check a b;
+  pearson (ranks a) (ranks b)
+
+let best_lag a b ~max_lag =
+  if max_lag < 0 then invalid_arg "Correlation.best_lag: negative max_lag";
+  if Array.length a = 0 || Array.length b = 0 then
+    invalid_arg "Correlation.best_lag: empty series";
+  let n = min (Array.length a) (Array.length b) in
+  let best = ref (0, neg_infinity) in
+  for lag = -max_lag to max_lag do
+    (* positive lag: compare a.(i) with b.(i - lag) *)
+    let start = max 0 lag in
+    let stop = min n (n + lag) in
+    let len = stop - start in
+    if len >= 2 then begin
+      let xa = Array.sub a start len in
+      let xb = Array.init len (fun i -> b.(start + i - lag)) in
+      let r = pearson xa xb in
+      let _, best_r = !best in
+      if r > best_r then best := (lag, r)
+    end
+  done;
+  if snd !best = neg_infinity then invalid_arg "Correlation.best_lag: series too short";
+  !best
+
+let match_score observed ~target ~max_lag =
+  match target with
+  | [] -> invalid_arg "Correlation.match_score: no candidates"
+  | _ ->
+      let scored =
+        List.mapi
+          (fun i cand ->
+             let _, r = best_lag observed cand ~max_lag in
+             (i, r))
+          target
+      in
+      fst (List.fold_left
+             (fun (bi, br) (i, r) -> if r > br then (i, r) else (bi, br))
+             (-1, neg_infinity) scored)

@@ -1,0 +1,23 @@
+(** Time-series correlation — the measurement engine behind asymmetric
+    traffic analysis (§3.3). The adversary bins bytes-sent on one segment
+    and bytes-acked on another and asks whether they co-move. *)
+
+val pearson : float array -> float array -> float
+(** Pearson's r. Returns 0 if either series is constant.
+    @raise Invalid_argument on length mismatch or length < 2. *)
+
+val spearman : float array -> float array -> float
+(** Rank correlation (average ranks on ties). Same error conditions. *)
+
+val best_lag : float array -> float array -> max_lag:int -> int * float
+(** [best_lag a b ~max_lag] slides [b] by [-max_lag .. max_lag] bins and
+    returns the lag maximising Pearson's r on the overlap, with that r.
+    Positive lag means [b] trails [a]. Overlaps shorter than 2 bins are
+    skipped. @raise Invalid_argument if [max_lag < 0] or inputs empty. *)
+
+val match_score :
+  float array -> target:float array list -> max_lag:int -> int
+(** [match_score observed ~target ~max_lag] — deanonymization decision:
+    the index of the candidate [target] series whose best-lag correlation
+    with [observed] is highest. @raise Invalid_argument on empty target
+    list. *)

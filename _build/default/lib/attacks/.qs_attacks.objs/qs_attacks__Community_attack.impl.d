@@ -1,0 +1,1 @@
+lib/attacks/community_attack.ml: Announcement Asn Interception List

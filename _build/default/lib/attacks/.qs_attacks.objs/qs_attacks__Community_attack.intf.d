@@ -1,0 +1,1 @@
+lib/attacks/community_attack.mli: Announcement As_graph Asn Interception Link_set

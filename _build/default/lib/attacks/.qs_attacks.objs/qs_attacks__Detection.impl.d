@@ -1,0 +1,1 @@
+lib/attacks/detection.ml: Asn Format Hashtbl List Option Prefix Prefix_trie Route Update

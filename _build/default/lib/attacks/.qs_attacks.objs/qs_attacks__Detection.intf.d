@@ -1,0 +1,1 @@
+lib/attacks/detection.mli: Asn Format Prefix Update

@@ -1,0 +1,1 @@
+lib/attacks/hijack.ml: Announcement Asn List Prefix Propagate

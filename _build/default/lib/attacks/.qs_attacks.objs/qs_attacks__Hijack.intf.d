@@ -1,0 +1,1 @@
+lib/attacks/hijack.mli: Announcement As_graph Asn Link_set Prefix Propagate Rpki

@@ -1,0 +1,1 @@
+lib/attacks/interception.ml: Announcement Array As_graph Asn Int List Option Prefix Propagate Relationship

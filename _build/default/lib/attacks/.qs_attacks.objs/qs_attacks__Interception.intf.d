@@ -1,0 +1,1 @@
+lib/attacks/interception.mli: Announcement As_graph Asn Link_set Propagate Rpki

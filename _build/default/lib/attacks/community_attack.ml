@@ -1,0 +1,41 @@
+type t = {
+  interception : Interception.t;
+  radius : int option;
+  visible_at : Asn.t list;
+  seen_by_monitors : int;
+  monitors : Asn.t list;
+}
+
+let run graph ?failed ~victim ~attacker ?radius ?export_to ~monitors () =
+  let scope =
+    let base =
+      Announcement.originate attacker victim.Announcement.prefix
+      |> Announcement.with_fake_suffix [ victim.Announcement.origin ]
+      |> Announcement.with_communities [ (Asn.to_int attacker land 0xFFFF, 666) ]
+    in
+    let base =
+      match radius with Some r -> Announcement.with_max_radius r base | None -> base
+    in
+    match export_to with
+    | Some set -> Announcement.with_export_to set base
+    | None -> base
+  in
+  let interception = Interception.run graph ?failed ~scope ~victim ~attacker () in
+  let visible_at = interception.Interception.captured in
+  let seen_by_monitors =
+    List.length
+      (List.filter
+         (fun m -> List.exists (Asn.equal m) visible_at)
+         monitors)
+  in
+  { interception; radius; visible_at; seen_by_monitors; monitors }
+
+let detection_probability t =
+  match t.monitors with
+  | [] -> 0.
+  | ms -> float_of_int t.seen_by_monitors /. float_of_int (List.length ms)
+
+let sweep_radius graph ~victim ~attacker ~monitors radii =
+  List.map
+    (fun r -> (r, run graph ~victim ~attacker ~radius:r ~monitors ()))
+    radii

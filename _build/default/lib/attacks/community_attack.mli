@@ -1,0 +1,36 @@
+(** Stealth (scoped) hijacks using BGP communities (§3.2, after the
+    Renesys/Zmijewski MITM report and §5's "stealthier attacks").
+
+    By tagging the bogus announcement with communities that limit its
+    propagation (NO_EXPORT-style radius limits, or per-neighbor scoping),
+    an attacker trades capture footprint for detectability: few ASes ever
+    see the bogus route, so control-plane monitors relying on global
+    visibility (e.g. route collectors) are likely to miss it. This module
+    quantifies that trade-off. *)
+
+type t = {
+  interception : Interception.t;
+  radius : int option;
+  visible_at : Asn.t list;
+      (** ASes that selected the bogus route — the only places a monitor
+          could observe the attack *)
+  seen_by_monitors : int;
+      (** how many of the given monitor ASes can see the bogus route *)
+  monitors : Asn.t list;
+}
+
+val run :
+  As_graph.Indexed.t -> ?failed:Link_set.t -> victim:Announcement.t ->
+  attacker:Asn.t -> ?radius:int -> ?export_to:Asn.Set.t ->
+  monitors:Asn.t list -> unit -> t
+(** Mounts a scoped interception and evaluates which of [monitors] (e.g.
+    collector peer ASes) end up selecting the bogus route. The community
+    tag [(attacker, 666)] marks the announcement. *)
+
+val detection_probability : t -> float
+(** [seen_by_monitors / length monitors]; 0 when no monitors. *)
+
+val sweep_radius :
+  As_graph.Indexed.t -> victim:Announcement.t -> attacker:Asn.t ->
+  monitors:Asn.t list -> int list -> (int * t) list
+(** The capture-vs-stealth trade-off curve: runs the attack at each radius. *)

@@ -1,0 +1,42 @@
+(** BGP prefix hijacking (§3.2).
+
+    An attacker AS originates a victim's prefix (or a more-specific of it).
+    Every AS whose policy prefers the bogus route sends its traffic for the
+    victim to the attacker, where it is blackholed — the connection dies,
+    but while it lasts the attacker reads IP headers and learns the
+    anonymity set (which clients talk to a hijacked guard relay). *)
+
+type t = {
+  outcome : Propagate.t;      (** routing with both origins active *)
+  victim : Asn.t;
+  attacker : Asn.t;
+  captured : Asn.t list;      (** ASes now routing to the attacker *)
+  capture_fraction : float;   (** captured / ASes-with-a-route *)
+}
+
+val same_prefix :
+  As_graph.Indexed.t -> ?failed:Link_set.t -> ?rov:Rpki.t * Asn.Set.t ->
+  victim:Announcement.t -> attacker:Asn.t -> unit -> t
+(** The attacker originates exactly the victim's prefix. Whoever is
+    policy-closer to the attacker is captured.
+    @raise Invalid_argument if attacker = victim's origin. *)
+
+val more_specific :
+  As_graph.Indexed.t -> ?failed:Link_set.t -> ?rov:Rpki.t * Asn.Set.t ->
+  victim:Announcement.t -> attacker:Asn.t -> sub:Prefix.t -> unit -> t
+(** The attacker originates [sub], a strictly more-specific prefix inside
+    the victim's. Longest-prefix match sends {e every} AS that hears the
+    bogus route to the attacker, regardless of path length: [captured] is
+    computed on the [sub] announcement alone, with the victim's covering
+    route still present for everyone else.
+    @raise Invalid_argument unless the victim's prefix strictly subsumes
+    [sub]. *)
+
+val is_captured : t -> Asn.t -> bool
+(** Does this AS's traffic toward the victim reach the attacker? *)
+
+val anonymity_set :
+  t -> clients:(Asn.t * 'a) list -> ('a * Asn.t) list
+(** [anonymity_set t ~clients] — given clients tagged with their AS — the
+    clients whose traffic to the victim the attacker observes during the
+    hijack (the paper's reduced anonymity set), with their AS. *)

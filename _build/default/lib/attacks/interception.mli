@@ -1,0 +1,47 @@
+(** BGP prefix interception (§3.2, after Ballani et al.).
+
+    Like a hijack, but the attacker keeps a working route back to the
+    victim and forwards the captured traffic onward, so connections stay
+    alive and end-to-end timing analysis can run to completion. The
+    attacker announces the victim's prefix with the victim's ASN appended
+    ([attacker, victim]): loop detection keeps the announcement out of the
+    victim's own neighborhood, and the extra hop makes the bogus path look
+    plausible.
+
+    Feasibility (the crux of a real interception): after the announcement
+    pollutes part of the Internet, the attacker must still have a neighbor
+    whose best route to the victim's prefix is the {e legitimate} one and
+    whose forwarding path avoids the attacker; otherwise captured traffic
+    has nowhere clean to go and the "interception" degrades into a hijack.
+    Following Ballani et al., the attacker announces {e selectively}: if a
+    full announcement pollutes every uplink, it withholds the announcement
+    from one neighbor at a time (providers first) until a clean return
+    path survives, and only then mounts the attack. *)
+
+type t = {
+  outcome : Propagate.t;        (** routing with the bogus route in play *)
+  victim : Asn.t;
+  attacker : Asn.t;
+  captured : Asn.t list;        (** ASes deflected through the attacker *)
+  capture_fraction : float;
+  feasible : bool;              (** a clean return path exists *)
+  return_path : Asn.t list option;
+      (** attacker-first AS walk the re-injected traffic takes to the
+          victim, if feasible *)
+}
+
+val run :
+  As_graph.Indexed.t -> ?failed:Link_set.t -> ?rov:Rpki.t * Asn.Set.t ->
+  ?scope:Announcement.t -> victim:Announcement.t ->
+  attacker:Asn.t -> unit -> t
+(** [run graph ~victim ~attacker ()] mounts the interception. [?scope]
+    replaces the default bogus announcement with a customised one (e.g.
+    community-scoped via {!Announcement.with_export_to} /
+    {!Announcement.with_max_radius}) — its origin and prefix must match
+    [attacker] and the victim's prefix.
+    @raise Invalid_argument if attacker = victim's origin, or [scope] is
+    inconsistent. *)
+
+val observes : t -> Asn.t -> bool
+(** Is this AS's traffic toward the victim visible to the attacker? The
+    attacker itself always observes. *)

@@ -1,0 +1,1 @@
+lib/bgp/announcement.ml: Asn Format List Prefix Printf String

@@ -1,0 +1,1 @@
+lib/bgp/announcement.mli: Asn Format Prefix

@@ -1,0 +1,1 @@
+lib/bgp/collector.ml: Addressing Array As_graph Asn Ipv4 List Rng Update

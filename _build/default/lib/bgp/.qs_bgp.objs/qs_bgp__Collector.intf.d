@@ -1,0 +1,1 @@
+lib/bgp/collector.mli: Addressing As_graph Ipv4 Rng Update

@@ -1,0 +1,1 @@
+lib/bgp/dynamics.ml: Addressing Announcement Array As_graph Asn Collector Float Int Link_set List Option Pqueue Prefix Propagate Rng Route Update

@@ -1,0 +1,1 @@
+lib/bgp/dynamics.mli: Addressing As_graph Asn Collector Prefix Rng Route Update

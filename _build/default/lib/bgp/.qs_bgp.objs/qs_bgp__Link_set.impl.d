@@ -1,0 +1,1 @@
+lib/bgp/link_set.ml: Asn List Set

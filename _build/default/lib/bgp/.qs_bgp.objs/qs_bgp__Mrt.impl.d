@@ -1,0 +1,1 @@
+lib/bgp/mrt.ml: Array Asn Buffer Char Float Hashtbl Ipv4 List Option Prefix Printf Route String Update

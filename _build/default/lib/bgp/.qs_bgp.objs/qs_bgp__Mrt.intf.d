@@ -1,0 +1,1 @@
+lib/bgp/mrt.mli: Asn Buffer Ipv4 Prefix Route Update

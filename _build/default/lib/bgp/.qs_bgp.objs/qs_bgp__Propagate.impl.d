@@ -1,0 +1,1 @@
+lib/bgp/propagate.ml: Announcement Array As_graph Asn Int Link_set List Prefix Printf Relationship Route Rpki

@@ -1,0 +1,1 @@
+lib/bgp/propagate.mli: Announcement As_graph Asn Link_set Prefix Route Rpki

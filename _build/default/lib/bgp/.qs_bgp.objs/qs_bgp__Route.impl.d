@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Asn Format Int List Prefix Printf String

@@ -1,0 +1,1 @@
+lib/bgp/rpki.ml: Addressing Asn List Option Prefix Prefix_trie

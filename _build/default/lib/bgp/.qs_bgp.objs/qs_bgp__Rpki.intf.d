@@ -1,0 +1,1 @@
+lib/bgp/rpki.mli: Addressing Asn Prefix

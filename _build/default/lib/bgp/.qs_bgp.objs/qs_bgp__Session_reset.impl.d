@@ -1,0 +1,1 @@
+lib/bgp/session_reset.ml: Hashtbl Option Prefix Queue Update

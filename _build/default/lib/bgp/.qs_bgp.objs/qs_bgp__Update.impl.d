@@ -1,0 +1,1 @@
+lib/bgp/update.ml: Asn Format Map Prefix Route String

@@ -1,0 +1,1 @@
+lib/bgp/update.mli: Asn Format Map Prefix Route

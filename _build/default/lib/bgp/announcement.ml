@@ -1,0 +1,34 @@
+type t = {
+  origin : Asn.t;
+  prefix : Prefix.t;
+  prepend : int;
+  fake_suffix : Asn.t list;
+  export_to : Asn.Set.t option;
+  max_radius : int option;
+  communities : (int * int) list;
+}
+
+let originate origin prefix =
+  { origin; prefix; prepend = 0; fake_suffix = []; export_to = None;
+    max_radius = None; communities = [] }
+
+let with_prepend n t =
+  if n < 0 then invalid_arg "Announcement.with_prepend: negative";
+  { t with prepend = n }
+
+let with_fake_suffix suffix t = { t with fake_suffix = suffix }
+let with_export_to set t = { t with export_to = Some set }
+let with_max_radius r t = { t with max_radius = Some r }
+let with_communities cs t = { t with communities = cs }
+
+let announced_path t =
+  let rec repeat n acc = if n = 0 then acc else repeat (n - 1) (t.origin :: acc) in
+  repeat (1 + t.prepend) t.fake_suffix
+
+let pp ppf t =
+  Format.fprintf ppf "%a -> %a (path %s%s)" Asn.pp t.origin Prefix.pp t.prefix
+    (String.concat " "
+       (List.map (fun a -> string_of_int (Asn.to_int a)) (announced_path t)))
+    (match t.max_radius with
+     | Some r -> Printf.sprintf ", radius %d" r
+     | None -> "")

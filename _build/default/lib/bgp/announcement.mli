@@ -1,0 +1,44 @@
+(** What an AS injects into BGP for a prefix.
+
+    A single prefix can have several simultaneous announcements — that is
+    exactly what a hijack is (the legitimate origin plus the attacker both
+    originating it). The attack-relevant knobs are all here:
+
+    - [prepend]: AS-path prepending of the origin's own ASN (used both for
+      traffic engineering churn and by interception attackers to keep a
+      clean path back to the victim);
+    - [fake_suffix]: ASes appended after the origin in the announced path.
+      An interception attacker announces [attacker, victim] so the route
+      still "ends" at the victim and loop detection at the victim's
+      neighbors is not triggered;
+    - [export_to]: restrict which neighbors receive the announcement
+      (BGP-community-style scoped propagation, the Renesys MITM trick);
+    - [max_radius]: stop re-export after this many AS hops from the origin
+      (NO_EXPORT-style scoping), [None] = unlimited. *)
+
+type t = {
+  origin : Asn.t;
+  prefix : Prefix.t;
+  prepend : int;
+  fake_suffix : Asn.t list;
+  export_to : Asn.Set.t option;
+  max_radius : int option;
+  communities : (int * int) list;
+}
+
+val originate : Asn.t -> Prefix.t -> t
+(** A plain, honest announcement: no prepending, no scoping. *)
+
+val with_prepend : int -> t -> t
+(** @raise Invalid_argument if negative. *)
+
+val with_fake_suffix : Asn.t list -> t -> t
+val with_export_to : Asn.Set.t -> t -> t
+val with_max_radius : int -> t -> t
+val with_communities : (int * int) list -> t -> t
+
+val announced_path : t -> Asn.t list
+(** The AS path as injected at the origin: the origin repeated
+    [1 + prepend] times, then [fake_suffix]. *)
+
+val pp : Format.formatter -> t -> unit

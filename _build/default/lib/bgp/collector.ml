@@ -1,0 +1,73 @@
+type feed = Full | Customer_and_peer | Customer_only
+
+type session = {
+  id : Update.session_id;
+  peer_ip : Ipv4.t;
+  feed : feed;
+}
+
+let visible session ~route_class =
+  match (session.feed, route_class) with
+  | Full, _ -> true
+  | Customer_and_peer, (`Origin | `Customer | `Peer) -> true
+  | Customer_and_peer, `Provider -> false
+  | Customer_only, (`Origin | `Customer) -> true
+  | Customer_only, (`Peer | `Provider) -> false
+
+type t = { name : string; sessions : session list }
+
+let standard_names = [ "rrc00"; "rrc01"; "rrc03"; "rrc04" ]
+
+let standard_setup ~rng ?(sessions_per_collector = 18) g addressing =
+  let candidates =
+    As_graph.ases g
+    |> List.filter (fun a ->
+        match (As_graph.info g a).As_graph.tier with
+        | As_graph.Tier1 | As_graph.Transit -> true
+        | As_graph.Stub -> false)
+    |> Array.of_list
+  in
+  if Array.length candidates = 0 then
+    invalid_arg "Collector.standard_setup: no transit ASes to peer with";
+  (* RIS-like mix: a handful of full feeds, many substantial partial feeds
+     (customer+peer exports from well-peered networks), a tail of
+     customer-only feeds. Reproduces the paper's visibility spread (mean
+     ~40% of sessions per Tor prefix, one near-full session). *)
+  let pick_feed () =
+    let r = Rng.float rng 1.0 in
+    if r < 0.15 then Full
+    else if r < 0.65 then Customer_and_peer
+    else Customer_only
+  in
+  (* Weight peer choice by degree: real RIS feeds come from well-connected
+     networks, which is what makes even partial feeds substantial. *)
+  let weights =
+    Array.map (fun a -> float_of_int (1 + As_graph.degree g a)) candidates
+  in
+  let weighted_sample k =
+    let chosen = ref Asn.Set.empty in
+    let attempts = ref 0 in
+    while Asn.Set.cardinal !chosen < min k (Array.length candidates)
+          && !attempts < 50 * k do
+      incr attempts;
+      chosen := Asn.Set.add candidates.(Rng.weighted_index rng weights) !chosen
+    done;
+    Asn.Set.elements !chosen
+  in
+  List.map
+    (fun name ->
+       let peers = weighted_sample sessions_per_collector in
+       let sessions =
+         List.map
+           (fun peer ->
+              let peer_ip =
+                try Addressing.address_in ~rng addressing peer
+                with Not_found -> Ipv4.of_octets 192 0 2 1
+              in
+              { id = { Update.collector = name; peer }; peer_ip; feed = pick_feed () })
+           peers
+       in
+       { name; sessions })
+    standard_names
+
+let all_sessions ts = List.concat_map (fun t -> t.sessions) ts

@@ -1,0 +1,41 @@
+(** RIPE-RIS-style route collectors.
+
+    A collector passively maintains eBGP sessions with volunteer peer ASes
+    and records every UPDATE each peer sends. What a session sees depends on
+    the peer's export policy towards the collector: *)
+
+type feed =
+  | Full                (** peer exports its best route for every prefix *)
+  | Customer_and_peer   (** exports only customer- and peer-learned routes *)
+  | Customer_only       (** exports only customer-learned (+ own) routes *)
+
+type session = {
+  id : Update.session_id;
+  peer_ip : Ipv4.t;
+  feed : feed;
+}
+
+val visible : session -> route_class:[ `Origin | `Customer | `Peer | `Provider ] -> bool
+(** Whether a route of the given class at the peer is exported on this
+    session. *)
+
+type t = {
+  name : string;
+  sessions : session list;
+}
+
+val standard_names : string list
+(** The four collectors the paper used: rrc00, rrc01, rrc03, rrc04. *)
+
+val standard_setup :
+  rng:Rng.t -> ?sessions_per_collector:int -> As_graph.t -> Addressing.t -> t list
+(** Builds the paper's measurement apparatus: 4 collectors with
+    [sessions_per_collector] (default 18, i.e. 72 sessions total — "more
+    than 70 eBGP sessions"). Peers are sampled from transit and Tier-1 ASes
+    without replacement per collector; the feed mix is roughly 45% full,
+    35% customer+peer, 20% customer-only, which reproduces the paper's
+    partial-visibility statistics (each Tor prefix seen on ~40% of
+    sessions). *)
+
+val all_sessions : t list -> session list
+(** Sessions of all collectors, in a stable order. *)

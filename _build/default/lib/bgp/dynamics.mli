@@ -1,0 +1,88 @@
+(** Event-driven interdomain routing dynamics.
+
+    Simulates the processes that make BGP paths change over a measurement
+    period — the raw material of the paper's §4 study:
+
+    - {b per-prefix churn}: re-homing flaps (an origin's provider link goes
+      down and comes back), upstream link flaps, and traffic-engineering
+      prepending changes. Per-prefix churn rates are heavy-tailed
+      (Pareto-distributed multipliers), and prefixes originated by hosting
+      ASes (where Tor relays concentrate) churn more — datacenters do
+      aggressive TE and attract attacks; this is the generative assumption
+      behind the paper's measured "Tor prefixes see more path changes";
+    - {b global events}: core transit links failing and recovering,
+      affecting many prefixes at once;
+    - {b convergence path exploration}: when a path changes, a session may
+      transiently announce alternate candidate routes before settling
+      (MRAI-spaced), the §3.1 "far-flung ASes get a temporary look" effect;
+    - {b session resets}: collector sessions occasionally reset and replay
+      their whole table (to be filtered out by {!Session_reset}).
+
+    The simulator maintains ground truth (which updates are reset
+    artifacts, which links failed when) so that detection and measurement
+    code can be evaluated against it. All updates are emitted in
+    non-decreasing time order. *)
+
+type config = {
+  duration : float;              (** simulated seconds (default: 30 days) *)
+  base_churn_rate : float;       (** mean churn events per background prefix
+                                     per [duration] *)
+  churn_alpha : float;           (** Pareto shape of per-prefix rate
+                                     multipliers (heavy tail) *)
+  churn_xmin : float;            (** Pareto scale of the multipliers *)
+  hosting_churn_factor : float;  (** extra multiplier per unit of
+                                     [hosting_weight] *)
+  max_rate_multiplier : float;   (** cap on the combined multiplier *)
+  mean_outage : float;           (** mean duration of a perturbation, s *)
+  global_link_events : int;      (** number of core-link failures *)
+  mean_global_outage : float;
+  resets_per_session : float;    (** expected session resets per session *)
+  reset_transfer_time : float;   (** seconds a table replay takes *)
+  convergence_transients : bool; (** emit path-exploration transients *)
+  transient_prob : float;        (** chance a change shows transients *)
+  mrai : float;                  (** spacing between transients, s *)
+  convergence_delay_max : float; (** final path settles within this, s *)
+  max_affected_per_event : int;  (** bound on prefixes recomputed per event *)
+  pathological_prefixes : int;   (** super-flappers among hosting prefixes
+                                     (the paper's 2000x-median anecdote) *)
+  pathological_multiplier : float;
+}
+
+val default_config : config
+(** A 30-day month matching the paper's measurement scale. *)
+
+val short_config : config
+(** A 2-day run for tests and examples. *)
+
+type world = {
+  graph : As_graph.t;
+  indexed : As_graph.Indexed.t;
+  addressing : Addressing.t;
+  collectors : Collector.t list;
+}
+
+val make_world : As_graph.t -> Addressing.t -> Collector.t list -> world
+
+type initial = Route.t Prefix.Map.t Update.Session_map.t
+(** Per session: the table at time 0 — the paper's "first path used at the
+    beginning of the month" baseline. *)
+
+type stats = {
+  churn_events : int;
+  global_events : (Asn.t * Asn.t * float * float) list;
+      (** core link, down-time, up-time *)
+  resets_injected : (Update.session_id * float * float) list;
+      (** ground truth for evaluating {!Session_reset} detection *)
+  updates_emitted : int;
+  announces : int;
+  withdraws : int;
+  recomputations : int;
+}
+
+val run :
+  rng:Rng.t -> ?on_initial:(initial -> unit) -> config -> world ->
+  emit:(Update.t -> unit) -> initial * stats
+(** Runs the simulation, feeding every UPDATE to [emit] in time order.
+    [on_initial] is called with the time-0 tables {e before} any update is
+    emitted, so consumers can set their baselines. Deterministic given
+    [rng] and inputs. *)

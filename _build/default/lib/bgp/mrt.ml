@@ -1,0 +1,475 @@
+exception Malformed of string
+
+type message =
+  | Update of {
+      withdrawn : Prefix.t list;
+      as_path : Asn.t list;
+      next_hop : Ipv4.t option;
+      communities : (int * int) list;
+      nlri : Prefix.t list;
+    }
+  | Keepalive
+
+type record = {
+  timestamp : float;
+  peer_as : Asn.t;
+  local_as : Asn.t;
+  peer_ip : Ipv4.t;
+  local_ip : Ipv4.t;
+  message : message;
+}
+
+let mrt_type_bgp4mp_et = 17
+let subtype_message_as4 = 4
+let bgp_type_update = 2
+let bgp_type_keepalive = 4
+let attr_origin = 1
+let attr_as_path = 2
+let attr_next_hop = 3
+let attr_communities = 8
+
+(* --- encoding ------------------------------------------------------ *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u16 buf v =
+  add_u8 buf (v lsr 8);
+  add_u8 buf v
+
+let add_u32 buf v =
+  add_u16 buf (v lsr 16);
+  add_u16 buf (v land 0xFFFF)
+
+(* A prefix in BGP wire format: length byte + just enough address bytes. *)
+let add_wire_prefix buf p =
+  let len = Prefix.length p in
+  add_u8 buf len;
+  let addr = Ipv4.to_int (Prefix.network p) in
+  let nbytes = (len + 7) / 8 in
+  for i = 0 to nbytes - 1 do
+    add_u8 buf ((addr lsr (24 - (8 * i))) land 0xFF)
+  done
+
+let add_attr buf ~flags ~typ body =
+  let len = String.length body in
+  if len > 0xFF then begin
+    add_u8 buf (flags lor 0x10);  (* extended length *)
+    add_u8 buf typ;
+    add_u16 buf len
+  end else begin
+    add_u8 buf flags;
+    add_u8 buf typ;
+    add_u8 buf len
+  end;
+  Buffer.add_string buf body
+
+let as_path_body path =
+  let buf = Buffer.create 64 in
+  let rec segments = function
+    | [] -> ()
+    | rest ->
+        let seg_len = min 255 (List.length rest) in
+        add_u8 buf 2;  (* AS_SEQUENCE *)
+        add_u8 buf seg_len;
+        let rec take n = function
+          | a :: tl when n > 0 ->
+              add_u32 buf (Asn.to_int a);
+              take (n - 1) tl
+          | tl -> tl
+        in
+        segments (take seg_len rest)
+  in
+  segments path;
+  Buffer.contents buf
+
+let encode_attrs ~as_path ~next_hop ~communities =
+  let attrs = Buffer.create 64 in
+  if as_path <> [] then begin
+    let origin_body = String.make 1 '\000' in
+    add_attr attrs ~flags:0x40 ~typ:attr_origin origin_body;
+    add_attr attrs ~flags:0x40 ~typ:attr_as_path (as_path_body as_path)
+  end;
+  (match next_hop with
+   | Some ip ->
+       let b = Buffer.create 4 in
+       add_u32 b (Ipv4.to_int ip);
+       add_attr attrs ~flags:0x40 ~typ:attr_next_hop (Buffer.contents b)
+   | None -> ());
+  if communities <> [] then begin
+    let b = Buffer.create 16 in
+    List.iter
+      (fun (asn, value) ->
+         add_u16 b asn;
+         add_u16 b value)
+      communities;
+    add_attr attrs ~flags:0xC0 ~typ:attr_communities (Buffer.contents b)
+  end;
+  Buffer.contents attrs
+
+let bgp_message_body message =
+  let buf = Buffer.create 128 in
+  (match message with
+   | Keepalive -> ()
+   | Update { withdrawn; as_path; next_hop; communities; nlri } ->
+       let wd = Buffer.create 32 in
+       List.iter (add_wire_prefix wd) withdrawn;
+       add_u16 buf (Buffer.length wd);
+       Buffer.add_buffer buf wd;
+       let attrs = encode_attrs ~as_path ~next_hop ~communities in
+       add_u16 buf (String.length attrs);
+       Buffer.add_string buf attrs;
+       List.iter (add_wire_prefix buf) nlri);
+  Buffer.contents buf
+
+let encode_record buf r =
+  let seconds = int_of_float r.timestamp in
+  let micros =
+    int_of_float (Float.round ((r.timestamp -. float_of_int seconds) *. 1_000_000.))
+  in
+  let body = bgp_message_body r.message in
+  let bgp_len = 16 + 2 + 1 + String.length body in
+  (* BGP4MP_MESSAGE_AS4 body: peer AS, local AS, ifindex, AFI, IPs, message. *)
+  let mrt_len = 4 (* microseconds *) + 4 + 4 + 2 + 2 + 4 + 4 + bgp_len in
+  add_u32 buf seconds;
+  add_u16 buf mrt_type_bgp4mp_et;
+  add_u16 buf subtype_message_as4;
+  add_u32 buf mrt_len;
+  add_u32 buf micros;
+  add_u32 buf (Asn.to_int r.peer_as);
+  add_u32 buf (Asn.to_int r.local_as);
+  add_u16 buf 0;  (* interface index *)
+  add_u16 buf 1;  (* AFI IPv4 *)
+  add_u32 buf (Ipv4.to_int r.peer_ip);
+  add_u32 buf (Ipv4.to_int r.local_ip);
+  for _ = 1 to 16 do add_u8 buf 0xFF done;
+  add_u16 buf bgp_len;
+  add_u8 buf
+    (match r.message with
+     | Update _ -> bgp_type_update
+     | Keepalive -> bgp_type_keepalive);
+  Buffer.add_string buf body
+
+let encode records =
+  let buf = Buffer.create 4096 in
+  List.iter (encode_record buf) records;
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------ *)
+
+type reader = { data : string; mutable pos : int; limit : int }
+
+let need r n what =
+  if r.pos + n > r.limit then
+    raise (Malformed (Printf.sprintf "truncated %s at offset %d" what r.pos))
+
+let u8 r what =
+  need r 1 what;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r what =
+  let hi = u8 r what in
+  (hi lsl 8) lor u8 r what
+
+let u32 r what =
+  let hi = u16 r what in
+  (hi lsl 16) lor u16 r what
+
+let wire_prefix r =
+  let len = u8 r "prefix length" in
+  if len > 32 then raise (Malformed (Printf.sprintf "prefix length %d > 32" len));
+  let nbytes = (len + 7) / 8 in
+  let addr = ref 0 in
+  for i = 0 to nbytes - 1 do
+    addr := !addr lor (u8 r "prefix bytes" lsl (24 - (8 * i)))
+  done;
+  Prefix.make (Ipv4.of_int_trunc !addr) len
+
+let wire_prefixes r limit =
+  let sub = { r with limit } in
+  let out = ref [] in
+  while sub.pos < sub.limit do
+    out := wire_prefix sub :: !out
+  done;
+  r.pos <- sub.pos;
+  List.rev !out
+
+let decode_attrs r limit =
+  let sub = { r with limit } in
+  let as_path = ref [] and next_hop = ref None and communities = ref [] in
+  while sub.pos < sub.limit do
+    let flags = u8 sub "attr flags" in
+    let typ = u8 sub "attr type" in
+    let len =
+      if flags land 0x10 <> 0 then u16 sub "attr ext length" else u8 sub "attr length"
+    in
+    need sub len "attr body";
+    let body_end = sub.pos + len in
+    if typ = attr_as_path then begin
+      let path = ref [] in
+      while sub.pos < body_end do
+        let seg_type = u8 sub "segment type" in
+        if seg_type <> 2 then
+          raise (Malformed (Printf.sprintf "unsupported AS_PATH segment %d" seg_type));
+        let count = u8 sub "segment count" in
+        for _ = 1 to count do
+          path := Asn.of_int (u32 sub "segment ASN") :: !path
+        done
+      done;
+      as_path := !as_path @ List.rev !path
+    end
+    else if typ = attr_next_hop then begin
+      if len <> 4 then raise (Malformed "NEXT_HOP length <> 4");
+      next_hop := Some (Ipv4.of_int_trunc (u32 sub "next hop"))
+    end
+    else if typ = attr_communities then begin
+      if len mod 4 <> 0 then raise (Malformed "COMMUNITIES length not multiple of 4");
+      for _ = 1 to len / 4 do
+        let asn = u16 sub "community asn" in
+        let value = u16 sub "community value" in
+        communities := (asn, value) :: !communities
+      done
+    end
+    else sub.pos <- body_end;  (* ORIGIN and anything else: skip *)
+    if sub.pos <> body_end then raise (Malformed "attribute body size mismatch")
+  done;
+  r.pos <- sub.pos;
+  (!as_path, !next_hop, List.rev !communities)
+
+let decode_record r =
+  let seconds = u32 r "MRT timestamp" in
+  let typ = u16 r "MRT type" in
+  let subtype = u16 r "MRT subtype" in
+  let len = u32 r "MRT length" in
+  need r len "MRT body";
+  let body_end = r.pos + len in
+  if typ <> mrt_type_bgp4mp_et then
+    raise (Malformed (Printf.sprintf "unsupported MRT type %d" typ));
+  if subtype <> subtype_message_as4 then
+    raise (Malformed (Printf.sprintf "unsupported BGP4MP subtype %d" subtype));
+  let micros = u32 r "microseconds" in
+  let peer_as = Asn.of_int (u32 r "peer AS") in
+  let local_as = Asn.of_int (u32 r "local AS") in
+  let _ifindex = u16 r "ifindex" in
+  let afi = u16 r "AFI" in
+  if afi <> 1 then raise (Malformed (Printf.sprintf "unsupported AFI %d" afi));
+  let peer_ip = Ipv4.of_int_trunc (u32 r "peer IP") in
+  let local_ip = Ipv4.of_int_trunc (u32 r "local IP") in
+  for _ = 1 to 16 do
+    if u8 r "BGP marker" <> 0xFF then raise (Malformed "bad BGP marker")
+  done;
+  let bgp_len = u16 r "BGP length" in
+  if r.pos - 18 + bgp_len <> body_end then raise (Malformed "BGP length mismatch");
+  let bgp_type = u8 r "BGP type" in
+  let message =
+    if bgp_type = bgp_type_keepalive then Keepalive
+    else if bgp_type = bgp_type_update then begin
+      let wd_len = u16 r "withdrawn length" in
+      need r wd_len "withdrawn routes";
+      let withdrawn = wire_prefixes r (r.pos + wd_len) in
+      let attr_len = u16 r "attrs length" in
+      need r attr_len "path attributes";
+      let as_path, next_hop, communities = decode_attrs r (r.pos + attr_len) in
+      let nlri = wire_prefixes r body_end in
+      Update { withdrawn; as_path; next_hop; communities; nlri }
+    end
+    else raise (Malformed (Printf.sprintf "unsupported BGP message type %d" bgp_type))
+  in
+  if r.pos <> body_end then raise (Malformed "trailing bytes in MRT record");
+  { timestamp = float_of_int seconds +. (float_of_int micros /. 1_000_000.);
+    peer_as; local_as; peer_ip; local_ip; message }
+
+let decode data =
+  let r = { data; pos = 0; limit = String.length data } in
+  let out = ref [] in
+  while r.pos < r.limit do
+    out := decode_record r :: !out
+  done;
+  List.rev !out
+
+let record_of_update ~local_as ~local_ip ~peer_ip (u : Update.t) =
+  let message =
+    match u.Update.kind with
+    | Update.Announce route ->
+        Update
+          { withdrawn = [];
+            as_path = route.Route.as_path;
+            next_hop = Some peer_ip;
+            communities = route.Route.communities;
+            nlri = [ route.Route.prefix ] }
+    | Update.Withdraw p ->
+        Update
+          { withdrawn = [ p ]; as_path = []; next_hop = None;
+            communities = []; nlri = [] }
+  in
+  { timestamp = u.Update.time; peer_as = u.Update.session.Update.peer;
+    local_as; local_ip; peer_ip; message }
+
+let update_of_record ~collector r =
+  let session = { Update.collector; peer = r.peer_as } in
+  match r.message with
+  | Keepalive -> []
+  | Update { withdrawn; as_path; communities; nlri; _ } ->
+      let withdraws =
+        List.map
+          (fun p -> { Update.time = r.timestamp; session; kind = Update.Withdraw p })
+          withdrawn
+      in
+      let announces =
+        if as_path = [] then []
+        else
+          List.map
+            (fun p ->
+               { Update.time = r.timestamp; session;
+                 kind = Update.Announce (Route.make ~communities p as_path) })
+            nlri
+      in
+      withdraws @ announces
+
+(* --- TABLE_DUMP_V2 RIB snapshots (RFC 6396 §4.3) -------------------- *)
+
+let mrt_type_table_dump_v2 = 13
+let subtype_peer_index_table = 1
+let subtype_rib_ipv4_unicast = 2
+
+type rib = {
+  rib_time : float;
+  collector_id : Ipv4.t;
+  view_name : string;
+  peers : (Ipv4.t * Asn.t) array;
+  rib_entries : (Prefix.t * (int * Route.t) list) list;
+}
+
+let add_mrt_header buf ~time ~typ ~subtype ~len =
+  add_u32 buf (int_of_float time);
+  add_u16 buf typ;
+  add_u16 buf subtype;
+  add_u32 buf len
+
+let encode_rib rib =
+  let buf = Buffer.create 4096 in
+  (* PEER_INDEX_TABLE *)
+  let pit = Buffer.create 256 in
+  add_u32 pit (Ipv4.to_int rib.collector_id);
+  add_u16 pit (String.length rib.view_name);
+  Buffer.add_string pit rib.view_name;
+  add_u16 pit (Array.length rib.peers);
+  Array.iter
+    (fun (ip, asn) ->
+       add_u8 pit 0x02;  (* IPv4 peer, 4-byte AS *)
+       add_u32 pit (Ipv4.to_int ip);  (* peer BGP id = peer IP here *)
+       add_u32 pit (Ipv4.to_int ip);
+       add_u32 pit (Asn.to_int asn))
+    rib.peers;
+  add_mrt_header buf ~time:rib.rib_time ~typ:mrt_type_table_dump_v2
+    ~subtype:subtype_peer_index_table ~len:(Buffer.length pit);
+  Buffer.add_buffer buf pit;
+  (* RIB_IPV4_UNICAST records, one per prefix *)
+  List.iteri
+    (fun seq (prefix, entries) ->
+       let body = Buffer.create 256 in
+       add_u32 body seq;
+       add_wire_prefix body prefix;
+       add_u16 body (List.length entries);
+       List.iter
+         (fun (peer_index, (route : Route.t)) ->
+            add_u16 body peer_index;
+            add_u32 body (int_of_float rib.rib_time);
+            let attrs =
+              encode_attrs ~as_path:route.Route.as_path ~next_hop:None
+                ~communities:route.Route.communities
+            in
+            add_u16 body (String.length attrs);
+            Buffer.add_string body attrs)
+         entries;
+       add_mrt_header buf ~time:rib.rib_time ~typ:mrt_type_table_dump_v2
+         ~subtype:subtype_rib_ipv4_unicast ~len:(Buffer.length body);
+       Buffer.add_buffer buf body)
+    rib.rib_entries;
+  Buffer.contents buf
+
+let decode_rib data =
+  let r = { data; pos = 0; limit = String.length data } in
+  let rib_time = ref 0. in
+  let collector_id = ref (Ipv4.of_int_trunc 0) in
+  let view_name = ref "" in
+  let peers = ref [||] in
+  let entries = ref [] in
+  while r.pos < r.limit do
+    let seconds = u32 r "MRT timestamp" in
+    let typ = u16 r "MRT type" in
+    let subtype = u16 r "MRT subtype" in
+    let len = u32 r "MRT length" in
+    need r len "MRT body";
+    let body_end = r.pos + len in
+    if typ <> mrt_type_table_dump_v2 then
+      raise (Malformed (Printf.sprintf "expected TABLE_DUMP_V2, got type %d" typ));
+    if subtype = subtype_peer_index_table then begin
+      rib_time := float_of_int seconds;
+      collector_id := Ipv4.of_int_trunc (u32 r "collector id");
+      let name_len = u16 r "view name length" in
+      need r name_len "view name";
+      view_name := String.sub r.data r.pos name_len;
+      r.pos <- r.pos + name_len;
+      let count = u16 r "peer count" in
+      peers :=
+        Array.init count (fun _ ->
+            let peer_type = u8 r "peer type" in
+            if peer_type land 0x01 <> 0 then
+              raise (Malformed "IPv6 peers unsupported");
+            let _bgp_id = u32 r "peer bgp id" in
+            let ip = Ipv4.of_int_trunc (u32 r "peer ip") in
+            let asn =
+              if peer_type land 0x02 <> 0 then Asn.of_int (u32 r "peer as4")
+              else Asn.of_int (u16 r "peer as2")
+            in
+            (ip, asn))
+    end
+    else if subtype = subtype_rib_ipv4_unicast then begin
+      let _seq = u32 r "rib sequence" in
+      let prefix = wire_prefix r in
+      let count = u16 r "entry count" in
+      let entry_list = ref [] in
+      for _ = 1 to count do
+        let peer_index = u16 r "peer index" in
+        let _originated = u32 r "originated time" in
+        let attr_len = u16 r "rib attr length" in
+        need r attr_len "rib attributes";
+        let as_path, _next_hop, communities = decode_attrs r (r.pos + attr_len) in
+        if as_path = [] then raise (Malformed "RIB entry without AS_PATH");
+        entry_list :=
+          (peer_index, Route.make ~communities prefix as_path) :: !entry_list
+      done;
+      entries := (prefix, List.rev !entry_list) :: !entries
+    end
+    else raise (Malformed (Printf.sprintf "unsupported TABLE_DUMP_V2 subtype %d" subtype));
+    if r.pos <> body_end then raise (Malformed "trailing bytes in TABLE_DUMP_V2 record")
+  done;
+  { rib_time = !rib_time; collector_id = !collector_id; view_name = !view_name;
+    peers = !peers; rib_entries = List.rev !entries }
+
+let rib_of_initial ~time ~collector_id ~view_name ~peer_ip initial =
+  let sessions = List.map fst (Update.Session_map.bindings initial) in
+  let peers =
+    Array.of_list
+      (List.map (fun s -> (peer_ip s, s.Update.peer)) sessions)
+  in
+  let index_of =
+    let tbl = Hashtbl.create 64 in
+    List.iteri (fun i s -> Hashtbl.replace tbl s i) sessions;
+    fun s -> Hashtbl.find tbl s
+  in
+  let by_prefix = ref Prefix.Map.empty in
+  Update.Session_map.iter
+    (fun session table ->
+       Prefix.Map.iter
+         (fun p route ->
+            let cur = Option.value ~default:[] (Prefix.Map.find_opt p !by_prefix) in
+            by_prefix := Prefix.Map.add p ((index_of session, route) :: cur) !by_prefix)
+         table)
+    initial;
+  { rib_time = time; collector_id; view_name; peers;
+    rib_entries =
+      Prefix.Map.bindings !by_prefix
+      |> List.map (fun (p, entries) -> (p, List.rev entries)) }

@@ -1,0 +1,70 @@
+(** MRT (RFC 6396) encoding and decoding of BGP update streams.
+
+    The paper's raw input is RIPE RIS MRT dumps; since no OCaml MRT library
+    exists, we implement the subset RIS update files actually use:
+    [BGP4MP_ET] records (type 17, with microsecond timestamps) carrying
+    [BGP4MP_MESSAGE_AS4] (subtype 4) BGP UPDATE or KEEPALIVE messages over
+    IPv4, with ORIGIN / AS_PATH (AS_SEQUENCE, 4-byte ASNs, extended length
+    when needed) / NEXT_HOP / COMMUNITIES path attributes.
+
+    The encoder and decoder round-trip: [decode (encode rs) = rs]. *)
+
+exception Malformed of string
+(** Raised by {!decode} on truncated or invalid input, with a description
+    of the first problem found. *)
+
+type message =
+  | Update of {
+      withdrawn : Prefix.t list;
+      as_path : Asn.t list;          (** empty iff withdraw-only *)
+      next_hop : Ipv4.t option;
+      communities : (int * int) list;
+      nlri : Prefix.t list;
+    }
+  | Keepalive
+
+type record = {
+  timestamp : float;   (** seconds; microsecond precision is preserved *)
+  peer_as : Asn.t;
+  local_as : Asn.t;    (** the collector's AS *)
+  peer_ip : Ipv4.t;
+  local_ip : Ipv4.t;
+  message : message;
+}
+
+val encode_record : Buffer.t -> record -> unit
+val encode : record list -> string
+val decode : string -> record list
+
+val record_of_update :
+  local_as:Asn.t -> local_ip:Ipv4.t -> peer_ip:Ipv4.t -> Update.t -> record
+(** Wraps one of our collector updates as an MRT record. *)
+
+val update_of_record : collector:string -> record -> Update.t list
+(** Unwraps an MRT record into collector updates (one per withdrawn prefix
+    and one per NLRI prefix; empty for keepalives). *)
+
+(** {2 TABLE_DUMP_V2 RIB snapshots}
+
+    RIS collectors also dump full tables ("bview" files) as TABLE_DUMP_V2
+    (RFC 6396 §4.3): a PEER_INDEX_TABLE followed by one RIB_IPV4_UNICAST
+    record per prefix, each entry referencing a peer by index. *)
+
+type rib = {
+  rib_time : float;
+  collector_id : Ipv4.t;
+  view_name : string;
+  peers : (Ipv4.t * Asn.t) array;
+  rib_entries : (Prefix.t * (int * Route.t) list) list;
+      (** per prefix: (peer index, route as exported by that peer) *)
+}
+
+val encode_rib : rib -> string
+val decode_rib : string -> rib
+(** Round-trips with {!encode_rib}. @raise Malformed on bad input. *)
+
+val rib_of_initial :
+  time:float -> collector_id:Ipv4.t -> view_name:string ->
+  peer_ip:(Update.session_id -> Ipv4.t) ->
+  Route.t Prefix.Map.t Update.Session_map.t -> rib
+(** Builds a bview from a {!Dynamics.initial} table set. *)

@@ -1,0 +1,353 @@
+(* Three-stage bucketed BFS. Stage A floods customer routes uphill
+   (customer -> provider edges), stage B crosses peering edges once, stage C
+   floods downhill to customers. Within a stage, nodes are settled in
+   increasing path-length order, with ties broken by lowest next-hop ASN;
+   classes are strictly ordered customer > peer > provider, so later stages
+   never overwrite earlier ones. *)
+
+type ann_info = {
+  spec : Announcement.t;
+  claimed_path : Asn.t list; (* as injected: origin^(1+prepend) @ fake_suffix *)
+  claimed_set : Asn.Set.t;
+  init_len : int;
+  rpki_invalid : bool;       (* claimed origin fails route-origin validation *)
+}
+
+type t = {
+  graph : As_graph.Indexed.t;
+  pfx : Prefix.t;
+  anns : ann_info array;
+  cls : int array;   (* 3 origin, 2 customer, 1 peer, 0 provider, -1 none *)
+  len : int array;
+  next : int array;  (* neighbor id the route was learned from; -1 at origin *)
+  src : int array;   (* announcement index the route descends from *)
+  depth : int array; (* AS hops from the originating AS *)
+  failed : Link_set.t;
+  rov_deployers : Asn.Set.t;  (* ASes that drop RPKI-invalid routes *)
+}
+
+let cls_origin = 3
+let cls_customer = 2
+let cls_peer = 1
+let cls_provider = 0
+
+let prefix t = t.pfx
+
+let link_up t u v =
+  Link_set.is_empty t.failed
+  || not
+       (Link_set.mem
+          (As_graph.Indexed.asn_of_id t.graph u)
+          (As_graph.Indexed.asn_of_id t.graph v)
+          t.failed)
+
+(* May the route sitting at [u] be exported across one more hop? Checks the
+   origin announcement's scoping rules. *)
+let may_reexport t u =
+  let info = t.anns.(t.src.(u)) in
+  match info.spec.Announcement.max_radius with
+  | Some r -> t.depth.(u) < r
+  | None -> true
+
+(* Origin first-hop restriction (community-scoped announcements). *)
+let origin_export_allowed t u v =
+  if t.next.(u) <> -1 then true
+  else
+    let info = t.anns.(t.src.(u)) in
+    match info.spec.Announcement.export_to with
+    | None -> true
+    | Some set -> Asn.Set.mem (As_graph.Indexed.asn_of_id t.graph v) set
+
+(* BGP loop detection against the *claimed* path: the BFS tree itself cannot
+   loop, but a forged suffix can mention [v]. *)
+let loop_free t v k =
+  not (Asn.Set.mem (As_graph.Indexed.asn_of_id t.graph v) t.anns.(k).claimed_set)
+
+(* Route-origin validation: a deploying AS drops routes whose claimed
+   origin is RPKI-invalid. Non-deployers accept everything; forged-origin
+   paths (interceptions) present a Valid origin and sail through. *)
+let rov_accepts t v k =
+  (not t.anns.(k).rpki_invalid)
+  || not (Asn.Set.mem (As_graph.Indexed.asn_of_id t.graph v) t.rov_deployers)
+
+let admissible t v k = loop_free t v k && rov_accepts t v k
+
+let better t ~cls ~len ~next_id ~cand_cls ~cand_len ~cand_next =
+  if cand_cls <> cls then cand_cls > cls
+  else if cand_len <> len then cand_len < len
+  else
+    Asn.compare
+      (As_graph.Indexed.asn_of_id t.graph cand_next)
+      (As_graph.Indexed.asn_of_id t.graph next_id)
+    < 0
+
+type buckets = { mutable slots : int list array }
+
+let bucket_make n = { slots = Array.make (n + 2) [] }
+
+let bucket_push b l v =
+  let cap = Array.length b.slots in
+  if l >= cap then begin
+    let slots = Array.make (max (l + 1) (2 * cap)) [] in
+    Array.blit b.slots 0 slots 0 cap;
+    b.slots <- slots
+  end;
+  b.slots.(l) <- v :: b.slots.(l)
+
+let offer t buckets ~v ~cand_cls ~cand_len ~cand_next ~cand_src =
+  if t.cls.(v) = -1
+     || better t ~cls:t.cls.(v) ~len:t.len.(v) ~next_id:t.next.(v)
+          ~cand_cls ~cand_len ~cand_next
+  then begin
+    t.cls.(v) <- cand_cls;
+    t.len.(v) <- cand_len;
+    t.next.(v) <- cand_next;
+    t.src.(v) <- cand_src;
+    t.depth.(v) <- t.depth.(cand_next) + 1;
+    match buckets with
+    | Some b -> bucket_push b cand_len v
+    | None -> ()
+  end
+
+let rec last_exn = function
+  | [ x ] -> x
+  | _ :: rest -> last_exn rest
+  | [] -> assert false
+
+let compute graph ?(failed = Link_set.empty) ?rov anns =
+  (match anns with [] -> invalid_arg "Propagate.compute: no announcements" | _ -> ());
+  let pfx = (List.hd anns).Announcement.prefix in
+  List.iter
+    (fun a ->
+       if not (Prefix.equal a.Announcement.prefix pfx) then
+         invalid_arg "Propagate.compute: announcements for different prefixes")
+    anns;
+  let rpki_table, rov_deployers =
+    match rov with
+    | Some (table, deployers) -> (Some table, deployers)
+    | None -> (None, Asn.Set.empty)
+  in
+  let anns =
+    Array.of_list
+      (List.map
+         (fun spec ->
+            let claimed_path = Announcement.announced_path spec in
+            let rpki_invalid =
+              match rpki_table with
+              | None -> false
+              | Some table ->
+                  Rpki.validate table spec.Announcement.prefix
+                    (last_exn claimed_path)
+                  = Rpki.Invalid
+            in
+            { spec; claimed_path;
+              claimed_set = Asn.Set.of_list claimed_path;
+              init_len = List.length claimed_path;
+              rpki_invalid })
+         anns)
+  in
+  let n = As_graph.Indexed.n graph in
+  let t =
+    { graph; pfx; anns;
+      cls = Array.make n (-1);
+      len = Array.make n 0;
+      next = Array.make n (-1);
+      src = Array.make n (-1);
+      depth = Array.make n 0;
+      failed;
+      rov_deployers }
+  in
+  (* Seed the origins. *)
+  let up = bucket_make n in
+  Array.iteri
+    (fun k info ->
+       let o =
+         try As_graph.Indexed.id_of_asn graph info.spec.Announcement.origin
+         with Not_found ->
+           invalid_arg
+             (Printf.sprintf "Propagate.compute: origin %s not in topology"
+                (Asn.to_string info.spec.Announcement.origin))
+       in
+       let take =
+         t.cls.(o) <> cls_origin
+         || info.init_len < t.len.(o)
+       in
+       if take then begin
+         t.cls.(o) <- cls_origin;
+         t.len.(o) <- info.init_len;
+         t.next.(o) <- -1;
+         t.src.(o) <- k;
+         t.depth.(o) <- 0;
+         bucket_push up info.init_len o
+       end)
+    anns;
+  (* Stage A: uphill. *)
+  let processed = Array.make n false in
+  let l = ref 0 in
+  while !l < Array.length up.slots do
+    List.iter
+      (fun u ->
+         if (not processed.(u)) && t.len.(u) = !l && t.cls.(u) >= cls_customer then begin
+           processed.(u) <- true;
+           if may_reexport t u then
+             Array.iter
+               (fun (v, rel) ->
+                  match rel with
+                  | Relationship.Provider ->
+                      if link_up t u v && origin_export_allowed t u v
+                         && admissible t v t.src.(u)
+                      then
+                        offer t (Some up) ~v ~cand_cls:cls_customer
+                          ~cand_len:(t.len.(u) + 1) ~cand_next:u ~cand_src:t.src.(u)
+                  | Relationship.Customer | Relationship.Peer -> ())
+               (As_graph.Indexed.neighbors graph u)
+         end)
+      up.slots.(!l);
+    incr l
+  done;
+  (* Stage B: one hop across peering links, from customer/origin routes. *)
+  let stage_a_sources = ref [] in
+  for u = 0 to n - 1 do
+    if t.cls.(u) >= cls_customer then stage_a_sources := u :: !stage_a_sources
+  done;
+  List.iter
+    (fun u ->
+       if may_reexport t u then
+         Array.iter
+           (fun (v, rel) ->
+              match rel with
+              | Relationship.Peer ->
+                  if t.cls.(v) < cls_customer && link_up t u v
+                     && origin_export_allowed t u v && admissible t v t.src.(u)
+                  then
+                    offer t None ~v ~cand_cls:cls_peer ~cand_len:(t.len.(u) + 1)
+                      ~cand_next:u ~cand_src:t.src.(u)
+              | Relationship.Customer | Relationship.Provider -> ())
+           (As_graph.Indexed.neighbors graph u))
+    !stage_a_sources;
+  (* Stage C: downhill to customers, chaining through provider routes. *)
+  let down = bucket_make n in
+  let processed_down = Array.make n false in
+  for u = 0 to n - 1 do
+    if t.cls.(u) >= cls_provider then bucket_push down t.len.(u) u
+  done;
+  let l = ref 0 in
+  while !l < Array.length down.slots do
+    List.iter
+      (fun u ->
+         if (not processed_down.(u)) && t.len.(u) = !l && t.cls.(u) >= cls_provider
+         then begin
+           processed_down.(u) <- true;
+           if may_reexport t u then
+             Array.iter
+               (fun (v, rel) ->
+                  match rel with
+                  | Relationship.Customer ->
+                      if t.cls.(v) < cls_peer && link_up t u v
+                         && origin_export_allowed t u v && admissible t v t.src.(u)
+                      then
+                        offer t (Some down) ~v ~cand_cls:cls_provider
+                          ~cand_len:(t.len.(u) + 1) ~cand_next:u ~cand_src:t.src.(u)
+                  | Relationship.Provider | Relationship.Peer -> ())
+               (As_graph.Indexed.neighbors graph u)
+         end)
+      down.slots.(!l);
+    incr l
+  done;
+  t
+
+let id_opt t a =
+  match As_graph.Indexed.id_of_asn t.graph a with
+  | i -> Some i
+  | exception Not_found -> None
+
+let has_route t a =
+  match id_opt t a with
+  | Some i -> t.cls.(i) >= 0
+  | None -> false
+
+let rec exported_path t i =
+  if t.next.(i) = -1 then t.anns.(t.src.(i)).claimed_path
+  else As_graph.Indexed.asn_of_id t.graph i :: exported_path t t.next.(i)
+
+let route_at t a =
+  match id_opt t a with
+  | Some i when t.cls.(i) >= 0 ->
+      let communities = t.anns.(t.src.(i)).spec.Announcement.communities in
+      Some (Route.make ~communities t.pfx (exported_path t i))
+  | Some _ | None -> None
+
+let next_hop t a =
+  match id_opt t a with
+  | Some i when t.cls.(i) >= 0 && t.next.(i) <> -1 ->
+      Some (As_graph.Indexed.asn_of_id t.graph t.next.(i))
+  | Some _ | None -> None
+
+let forwarding_path t a =
+  match id_opt t a with
+  | Some i when t.cls.(i) >= 0 ->
+      let rec walk i acc =
+        let acc = As_graph.Indexed.asn_of_id t.graph i :: acc in
+        if t.next.(i) = -1 then List.rev acc else walk t.next.(i) acc
+      in
+      Some (walk i [])
+  | Some _ | None -> None
+
+let route_class_at t a =
+  match id_opt t a with
+  | Some i when t.cls.(i) >= 0 ->
+      Some
+        (if t.cls.(i) = cls_origin then `Origin
+         else if t.cls.(i) = cls_customer then `Customer
+         else if t.cls.(i) = cls_peer then `Peer
+         else `Provider)
+  | Some _ | None -> None
+
+let winning_announcement t a =
+  match id_opt t a with
+  | Some i when t.cls.(i) >= 0 -> Some t.src.(i)
+  | Some _ | None -> None
+
+let captured t k =
+  let out = ref [] in
+  for i = Array.length t.cls - 1 downto 0 do
+    if t.cls.(i) >= 0 && t.src.(i) = k then
+      out := As_graph.Indexed.asn_of_id t.graph i :: !out
+  done;
+  !out
+
+let routed_count t =
+  Array.fold_left (fun acc c -> if c >= 0 then acc + 1 else acc) 0 t.cls
+
+let candidates_at t a =
+  match id_opt t a with
+  | None -> []
+  | Some v ->
+      let asn_v = a in
+      let cands = ref [] in
+      Array.iter
+        (fun (u, rel) ->
+           (* [rel] is what u is to v; u exports its best route to v iff the
+              route is customer/origin class, or v is u's customer — i.e. u
+              is v's Provider. *)
+           if t.cls.(u) >= 0 && link_up t v u && may_reexport t u
+              && origin_export_allowed t u v && rov_accepts t v t.src.(u)
+              && (t.cls.(u) >= cls_customer || Relationship.equal rel Relationship.Provider)
+           then begin
+             let path = exported_path t u in
+             if not (List.exists (Asn.equal asn_v) path) then
+               let cand_cls =
+                 match rel with
+                 | Relationship.Customer -> cls_customer
+                 | Relationship.Peer -> cls_peer
+                 | Relationship.Provider -> cls_provider
+               in
+               cands := (cand_cls, List.length path, path) :: !cands
+           end)
+        (As_graph.Indexed.neighbors t.graph v);
+      !cands
+      |> List.sort (fun (c1, l1, p1) (c2, l2, p2) ->
+          if c1 <> c2 then Int.compare c2 c1
+          else if l1 <> l2 then Int.compare l1 l2
+          else List.compare Asn.compare p1 p2)
+      |> List.map (fun (_, _, path) -> Route.make t.pfx path)

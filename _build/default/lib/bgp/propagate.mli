@@ -1,0 +1,78 @@
+(** Network-wide BGP route computation for one prefix.
+
+    Implements the standard Gao–Rexford model of interdomain routing (the
+    "AS-level path simulator of Gao et al." lineage the paper builds on):
+
+    {b Decision process} at every AS, in order: prefer routes learned from
+    customers over peers over providers; then shortest AS path; then lowest
+    next-hop ASN (a deterministic stand-in for intra-AS tie-breaking).
+
+    {b Export policy}: self-originated and customer-learned routes are
+    exported to everyone; peer- and provider-learned routes are exported to
+    customers only. The resulting paths are valley-free.
+
+    The computation takes a {e list} of simultaneous announcements for the
+    prefix, which is how hijacks are expressed: the legitimate origin plus
+    one or more adversarial origins, each AS independently picking whichever
+    route its policy prefers. Announcement scoping ([export_to],
+    [max_radius]) and path forgery ([fake_suffix]) are honored, including
+    BGP loop detection (an AS never accepts a path already containing
+    itself).
+
+    Link failures are passed as a {!Link_set.t}; failed links carry no
+    routes. *)
+
+type t
+(** The routing outcome for one prefix: the best route at every AS. *)
+
+val compute :
+  As_graph.Indexed.t -> ?failed:Link_set.t -> ?rov:Rpki.t * Asn.Set.t ->
+  Announcement.t list -> t
+(** [compute g ~failed ~rov anns] computes routes for the prefix of [anns].
+    [rov = (roa_table, deploying_ases)] enables route-origin validation:
+    the listed ASes refuse routes whose claimed origin is RPKI-invalid
+    (forged-origin paths still validate — ROV is origin, not path,
+    security).
+    @raise Invalid_argument if [anns] is empty, the announcements disagree
+    on the prefix, or an origin is not in the graph. *)
+
+val prefix : t -> Prefix.t
+
+val has_route : t -> Asn.t -> bool
+
+val route_at : t -> Asn.t -> Route.t option
+(** [route_at t a] is the route as [a] would export it: [a]'s own ASN (or
+    its announced path if [a] is an origin) at the head. This is what a
+    route collector peering with [a] records. [None] if [a] has no route. *)
+
+val next_hop : t -> Asn.t -> Asn.t option
+(** The neighbor [a] forwards traffic to for this prefix; [None] if [a] has
+    no route or is itself an origin. *)
+
+val forwarding_path : t -> Asn.t -> Asn.t list option
+(** [forwarding_path t a] is the data-plane AS sequence from [a] to
+    wherever its route terminates: [a] first, terminating origin last (with
+    no prepending repetitions — this is the actual AS-level forwarding
+    walk, not the control-plane path). [None] if no route. *)
+
+val route_class_at : t -> Asn.t -> [ `Origin | `Customer | `Peer | `Provider ] option
+(** How the AS learned its selected route; drives collector feed
+    visibility ({!Collector.visible}). *)
+
+val winning_announcement : t -> Asn.t -> int option
+(** Index (into the [compute] announcement list) of the announcement whose
+    route [a] selected. This is the hijack-deflection test: if AS [a]
+    selects announcement 1 (the attacker's), its traffic is captured. *)
+
+val captured : t -> int -> Asn.t list
+(** All ASes whose selected route descends from announcement [i]. *)
+
+val candidates_at : t -> Asn.t -> Route.t list
+(** Every route AS [a] {e receives} from its neighbors under export policy
+    (its best-per-neighbor alternatives), best first. Used to synthesize
+    BGP-convergence path exploration: the transient paths a router walks
+    through before settling. Paths are as received (neighbor's exported
+    path, not including [a]). *)
+
+val routed_count : t -> int
+(** Number of ASes that have a route. *)

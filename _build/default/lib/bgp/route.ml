@@ -1,0 +1,48 @@
+type t = {
+  prefix : Prefix.t;
+  as_path : Asn.t list;
+  communities : (int * int) list;
+}
+
+let make ?(communities = []) prefix as_path =
+  if as_path = [] then invalid_arg "Route.make: empty AS path";
+  { prefix; as_path; communities }
+
+let rec last = function
+  | [ x ] -> x
+  | _ :: rest -> last rest
+  | [] -> invalid_arg "Route.origin: empty path"
+
+let origin t = last t.as_path
+
+let first_hop t =
+  match t.as_path with
+  | hop :: _ -> hop
+  | [] -> invalid_arg "Route.first_hop: empty path"
+
+let path_length t = List.length t.as_path
+
+let as_set t = Asn.Set.of_list t.as_path
+
+let contains_as t a = List.exists (Asn.equal a) t.as_path
+
+let same_as_set a b = Asn.Set.equal (as_set a) (as_set b)
+
+let compare a b =
+  match Prefix.compare a.prefix b.prefix with
+  | 0 -> begin
+      match List.compare Asn.compare a.as_path b.as_path with
+      | 0 -> List.compare (fun (x1, y1) (x2, y2) ->
+          match Int.compare x1 x2 with 0 -> Int.compare y1 y2 | c -> c)
+          a.communities b.communities
+      | c -> c
+    end
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let to_string t =
+  Printf.sprintf "%s via [%s]" (Prefix.to_string t.prefix)
+    (String.concat " " (List.map (fun a -> string_of_int (Asn.to_int a)) t.as_path))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,38 @@
+(** BGP routes: a prefix plus the attributes this system reasons about.
+
+    The AS path is stored receiver-first: the head is the AS that would
+    export the route next (the neighbor you learn it from), the last element
+    is the (claimed) origin. Prepending shows up as repeated ASNs. *)
+
+type t = {
+  prefix : Prefix.t;
+  as_path : Asn.t list;          (** receiver-first; last = claimed origin *)
+  communities : (int * int) list; (** RFC1997-style [(asn, value)] tags *)
+}
+
+val make : ?communities:(int * int) list -> Prefix.t -> Asn.t list -> t
+(** @raise Invalid_argument if the path is empty. *)
+
+val origin : t -> Asn.t
+(** The claimed origin: the last AS on the path. *)
+
+val first_hop : t -> Asn.t
+(** The head of the path: the AS announcing this route to us. *)
+
+val path_length : t -> int
+(** AS-path length, counting prepending repetitions (BGP semantics). *)
+
+val as_set : t -> Asn.Set.t
+(** The set of distinct ASes on the path — the paper's "set of ASes
+    crossed", used to define a path change. *)
+
+val contains_as : t -> Asn.t -> bool
+
+val same_as_set : t -> t -> bool
+(** True iff the two routes cross the same set of ASes. A transition
+    between routes with [same_as_set = false] is a path change (§4). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

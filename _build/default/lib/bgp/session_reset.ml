@@ -1,0 +1,140 @@
+type config = {
+  window : float;
+  min_prefixes : int;
+  table_fraction : float;
+  quiet_gap : float;
+}
+
+let default_config =
+  { window = 60.; min_prefixes = 100; table_fraction = 0.5; quiet_gap = 30. }
+
+type stats = {
+  passed : int;
+  dropped : int;
+  bursts : (Update.session_id * float * float) list;
+}
+
+type session_state = {
+  id : Update.session_id;
+  table : unit Prefix.Table.t;          (* prefixes ever seen on the session *)
+  mutable table_floor : int;            (* preloaded table size *)
+  buffer : Update.t Queue.t;            (* recent updates, undecided *)
+  window_prefixes : int Prefix.Table.t; (* distinct prefixes in buffer *)
+  mutable in_burst : bool;
+  mutable burst_start : float;
+  mutable last_time : float;
+}
+
+type t = {
+  config : config;
+  emit : Update.t -> unit;
+  sessions : (Update.session_id, session_state) Hashtbl.t;
+  mutable passed : int;
+  mutable dropped : int;
+  mutable bursts : (Update.session_id * float * float) list;
+}
+
+let create ?(config = default_config) ~emit () =
+  { config; emit; sessions = Hashtbl.create 128; passed = 0; dropped = 0; bursts = [] }
+
+let state t id =
+  match Hashtbl.find_opt t.sessions id with
+  | Some s -> s
+  | None ->
+      let s =
+        { id; table = Prefix.Table.create 1024; table_floor = 0;
+          buffer = Queue.create (); window_prefixes = Prefix.Table.create 64;
+          in_burst = false; burst_start = 0.; last_time = neg_infinity }
+      in
+      Hashtbl.replace t.sessions id s;
+      s
+
+let preload_table t id n =
+  let s = state t id in
+  s.table_floor <- max s.table_floor n
+
+let table_size s = max s.table_floor (Prefix.Table.length s.table)
+
+let window_remove s u =
+  let p = Update.prefix u in
+  match Prefix.Table.find_opt s.window_prefixes p with
+  | Some 1 -> Prefix.Table.remove s.window_prefixes p
+  | Some n -> Prefix.Table.replace s.window_prefixes p (n - 1)
+  | None -> ()
+
+let window_add s u =
+  let p = Update.prefix u in
+  let n = Option.value ~default:0 (Prefix.Table.find_opt s.window_prefixes p) in
+  Prefix.Table.replace s.window_prefixes p (n + 1)
+
+(* Release buffered updates older than [now - window]: they were not part of
+   any burst that could still trigger, so they are clean. *)
+let release t s now =
+  let rec loop () =
+    match Queue.peek_opt s.buffer with
+    | Some u when u.Update.time < now -. t.config.window ->
+        ignore (Queue.pop s.buffer);
+        window_remove s u;
+        t.emit u;
+        t.passed <- t.passed + 1;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let burst_threshold t s =
+  max t.config.min_prefixes
+    (int_of_float (t.config.table_fraction *. float_of_int (table_size s)))
+
+let drop_buffer t s =
+  Queue.iter (fun _ -> t.dropped <- t.dropped + 1) s.buffer;
+  Queue.clear s.buffer;
+  Prefix.Table.reset s.window_prefixes
+
+let push t u =
+  let s = state t u.Update.session in
+  let now = u.Update.time in
+  Prefix.Table.replace s.table (Update.prefix u) ();
+  if s.in_burst then begin
+    if now -. s.last_time > t.config.quiet_gap then begin
+      (* Transfer over; this update is the first normal one after it. *)
+      t.bursts <- (s.id, s.burst_start, s.last_time) :: t.bursts;
+      s.in_burst <- false;
+      Queue.push u s.buffer;
+      window_add s u
+    end else begin
+      t.dropped <- t.dropped + 1
+    end
+  end else begin
+    release t s now;
+    Queue.push u s.buffer;
+    window_add s u;
+    if Prefix.Table.length s.window_prefixes >= burst_threshold t s then begin
+      (* The whole window is a table transfer. *)
+      s.in_burst <- true;
+      s.burst_start <-
+        (match Queue.peek_opt s.buffer with
+         | Some first -> first.Update.time
+         | None -> now);
+      drop_buffer t s
+    end
+  end;
+  s.last_time <- now
+
+let flush t =
+  Hashtbl.iter
+    (fun _ s ->
+       if s.in_burst then begin
+         t.bursts <- (s.id, s.burst_start, s.last_time) :: t.bursts;
+         s.in_burst <- false
+       end;
+       Queue.iter
+         (fun u ->
+            t.emit u;
+            t.passed <- t.passed + 1)
+         s.buffer;
+       Queue.clear s.buffer;
+       Prefix.Table.reset s.window_prefixes)
+    t.sessions
+
+let stats t = { passed = t.passed; dropped = t.dropped; bursts = t.bursts }

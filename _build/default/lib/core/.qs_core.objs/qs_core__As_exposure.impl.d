@@ -1,0 +1,1 @@
+lib/core/as_exposure.ml: Asn Ccdf Format List Measurement Option Prefix

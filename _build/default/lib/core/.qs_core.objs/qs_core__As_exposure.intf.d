@@ -1,0 +1,1 @@
+lib/core/as_exposure.mli: Ccdf Format Measurement Prefix

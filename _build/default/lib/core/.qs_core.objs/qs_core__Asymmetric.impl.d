@@ -1,0 +1,1 @@
+lib/core/asymmetric.ml: Array Correlation Float Format List Onion Rng Stats Trace

@@ -1,0 +1,1 @@
+lib/core/asymmetric.mli: Format Onion Rng

@@ -1,0 +1,1 @@
+lib/core/bgp_security.ml: Announcement Array As_graph Asn Consensus Float Format Hijack Interception List Option Path_selection Prefix Rng Rpki Scenario

@@ -1,0 +1,1 @@
+lib/core/bgp_security.mli: Format Rng Scenario

@@ -1,0 +1,1 @@
+lib/core/compromise.ml: Anonymity As_exposure Float Format List Stats

@@ -1,0 +1,1 @@
+lib/core/compromise.mli: As_exposure Format Rng

@@ -1,0 +1,1 @@
+lib/core/concentration.ml: As_graph Asn Consensus Format Int List Option Relay Scenario

@@ -1,0 +1,1 @@
+lib/core/concentration.mli: Asn Format Scenario

@@ -1,0 +1,1 @@
+lib/core/convergence_leak.ml: Asn Format List Measurement Option

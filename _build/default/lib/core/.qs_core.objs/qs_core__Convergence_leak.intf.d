@@ -1,0 +1,1 @@
+lib/core/convergence_leak.mli: Format Measurement

@@ -1,0 +1,1 @@
+lib/core/countermeasures.mli: Dynamics Format Rng Scenario

@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Asn Collector Consensus Format List Measurement Printf Relay Scenario Stats Tor_prefix

@@ -1,0 +1,1 @@
+lib/core/deanonymization.ml: Announcement Anonymity Array As_graph Asn Asymmetric Consensus Format Hijack Interception List Path_selection Prefix Relay Rng Scenario

@@ -1,0 +1,1 @@
+lib/core/deanonymization.mli: Asn Format Prefix Relay Rng Scenario

@@ -1,0 +1,1 @@
+lib/core/guard_inference.ml: Consensus Int List Option Path_selection Relay Rng

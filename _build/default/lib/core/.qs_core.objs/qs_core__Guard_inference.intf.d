@@ -1,0 +1,1 @@
+lib/core/guard_inference.mli: Consensus Relay Rng

@@ -1,0 +1,1 @@
+lib/core/long_term.ml: Addressing Announcement Array As_graph Asn Consensus Format Fun Hashtbl Int Link_set List Path_selection Prefix Printf Propagate Relay Rng Scenario

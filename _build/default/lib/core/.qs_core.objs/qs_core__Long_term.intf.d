@@ -1,0 +1,1 @@
+lib/core/long_term.mli: Asn Format Rng Scenario

@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Asn Dynamics Hashtbl List Option Prefix Route Scenario Session_reset Tor_prefix Update

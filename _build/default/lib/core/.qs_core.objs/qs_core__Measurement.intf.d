@@ -1,0 +1,1 @@
+lib/core/measurement.mli: Asn Dynamics Prefix Scenario Session_reset Update

@@ -1,0 +1,1 @@
+lib/core/path_changes.ml: Asn Ccdf Float Format Hashtbl List Measurement Option Prefix Stats Update

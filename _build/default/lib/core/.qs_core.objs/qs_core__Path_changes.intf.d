@@ -1,0 +1,1 @@
+lib/core/path_changes.mli: Ccdf Format Measurement Prefix Update

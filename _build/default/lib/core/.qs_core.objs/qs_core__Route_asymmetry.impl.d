@@ -1,0 +1,1 @@
+lib/core/route_asymmetry.ml: Addressing Announcement Anonymity Asn Consensus Format Fun List Path_selection Propagate Relay Scenario

@@ -1,0 +1,1 @@
+lib/core/route_asymmetry.mli: Asn Format Relay Rng Scenario

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Addressing Announcement Array As_graph Asn Collector Consensus Dynamics Hashtbl Int64 List Relay Rng Topo_gen Tor_prefix Update

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Addressing Announcement As_graph Asn Collector Consensus Dynamics Relay Rng Tor_prefix

@@ -1,0 +1,54 @@
+type t = {
+  threshold : float;
+  extras : int list;
+  ccdf : Ccdf.t;
+  frac_at_least_2 : float;
+  frac_above_5 : float;
+  max_extras : int;
+  per_prefix_union : (Prefix.t * int) list;
+}
+
+let compute ?(threshold = 300.) (m : Measurement.t) =
+  let extras = ref [] in
+  let union = Prefix.Table.create 256 in
+  List.iter
+    (fun (c : Measurement.cell) ->
+       let p = c.Measurement.key.Measurement.prefix in
+       (* Only cases where the prefix had a baseline path on the session,
+          as in the paper (the baseline is "the first path used at the
+          beginning of the month"). *)
+       if Measurement.is_tor m p && c.Measurement.baseline <> None then begin
+         let set = Measurement.extra_ases ~threshold c in
+         extras := Asn.Set.cardinal set :: !extras;
+         let cur =
+           Option.value ~default:Asn.Set.empty (Prefix.Table.find_opt union p)
+         in
+         Prefix.Table.replace union p (Asn.Set.union cur set)
+       end)
+    m.Measurement.cells;
+  let extras = !extras in
+  let samples = List.map float_of_int extras in
+  let ccdf = Ccdf.of_samples (match samples with [] -> [ 0. ] | s -> s) in
+  let n = float_of_int (max 1 (List.length extras)) in
+  let count f = float_of_int (List.length (List.filter f extras)) /. n in
+  { threshold;
+    extras;
+    ccdf;
+    frac_at_least_2 = count (fun e -> e >= 2);
+    frac_above_5 = count (fun e -> e > 5);
+    max_extras = List.fold_left max 0 extras;
+    per_prefix_union =
+      Prefix.Table.fold (fun p s acc -> (p, Asn.Set.cardinal s) :: acc) union [] }
+
+let print ppf t =
+  Format.fprintf ppf
+    "F3R: extra ASes seen >%.0f min per (Tor prefix, session) over the month (CCDF)@."
+    (t.threshold /. 60.);
+  Format.fprintf ppf "  paper: >=2 extra ASes in ~50%% of cases; >5 in ~8%%; tail to ~20@.";
+  Format.fprintf ppf "  measured: >=2 in %.1f%%; >5 in %.1f%%; max %d@."
+    (100. *. t.frac_at_least_2) (100. *. t.frac_above_5) t.max_extras;
+  Format.fprintf ppf "  CCDF (extra ASes -> %% of cases at or above):@.";
+  List.iter
+    (fun x ->
+       Format.fprintf ppf "    %4.0f -> %5.1f%%@." x (100. *. Ccdf.at t.ccdf x))
+    [ 1.; 2.; 3.; 5.; 10.; 15.; 20. ]

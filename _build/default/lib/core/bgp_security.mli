@@ -1,0 +1,37 @@
+(** Experiment X1 — what BGP security buys Tor (§7 "Improvements in BGP
+    security can go a long way...", and why "techniques that prevent
+    interception attacks" are the hard part).
+
+    Sweeps RPKI/ROV deployment from 0% to 100% of ASes and measures the
+    capture footprint of:
+
+    - a same-prefix origin hijack (claimed origin = attacker — Invalid
+      under ROV, so deployers drop it);
+    - a more-specific hijack (also Invalid with max-length ROAs);
+    - a forged-origin interception (claimed origin = victim — {e Valid}
+      under ROV: origin validation alone cannot stop it).
+
+    The expected shape: hijack curves collapse as deployment grows, the
+    interception curve barely moves. That asymmetry is the paper's §7
+    point. *)
+
+type point = {
+  deployment : float;            (** fraction of ASes enforcing ROV *)
+  hijack_capture : float;        (** mean capture fraction over trials *)
+  subprefix_capture : float;
+  interception_capture : float;
+  interception_feasible : float; (** fraction of trials still feasible *)
+}
+
+type t = {
+  points : point list;           (** ascending deployment *)
+  trials_per_point : int;
+}
+
+val sweep :
+  rng:Rng.t -> ?deployments:float list -> ?n_trials:int -> Scenario.t -> t
+(** Defaults: deployment in {0, 0.25, 0.5, 0.75, 1.0}, 10 trials per point
+    (a random guard-victim and random attacker per trial, shared across
+    deployment levels so curves are comparable). *)
+
+val print : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type row = {
+  f : float;
+  x : int;
+  analytic_l1 : float;
+  analytic_l3 : float;
+  monte_carlo_l1 : float;
+}
+
+type t = {
+  rows : row list;
+  max_abs_error : float;
+}
+
+let compute ~rng ?(fs = [ 0.01; 0.02; 0.05; 0.1 ])
+    ?(xs = [ 1; 2; 4; 8; 16; 30 ]) ?(trials = 5000) ?(universe = 2400) () =
+  let rows =
+    List.concat_map
+      (fun f ->
+         List.map
+           (fun x ->
+              { f; x;
+                analytic_l1 = Anonymity.compromise_probability ~f ~x;
+                analytic_l3 = Anonymity.multi_guard_probability ~f ~x ~l:3;
+                monte_carlo_l1 =
+                  Anonymity.monte_carlo_compromise ~rng ~trials ~universe ~f
+                    ~exposed:x })
+           xs)
+      fs
+  in
+  let max_abs_error =
+    List.fold_left
+      (fun acc r -> Float.max acc (Float.abs (r.analytic_l1 -. r.monte_carlo_l1)))
+      0. rows
+  in
+  { rows; max_abs_error }
+
+let baseline_path_ases = 4
+(* "the number of ASes crossed in the Internet is around 4, on average" *)
+
+let exposure_based ~f ~l (exposure : As_exposure.t) =
+  let probs_static, probs_dynamic =
+    List.fold_left
+      (fun (s, d) extra ->
+         ( Anonymity.multi_guard_probability ~f ~x:baseline_path_ases ~l :: s,
+           Anonymity.multi_guard_probability ~f ~x:(baseline_path_ases + extra) ~l
+           :: d ))
+      ([], []) exposure.As_exposure.extras
+  in
+  match probs_static with
+  | [] -> (0., 0.)
+  | _ -> (Stats.mean probs_static, Stats.mean probs_dynamic)
+
+let print ppf t =
+  Format.fprintf ppf "M1: compromise probability 1-(1-f)^(l*x)@.";
+  Format.fprintf ppf "  %-6s %-4s %-12s %-12s %-14s@."
+    "f" "x" "l=1" "l=3" "monte-carlo(l=1)";
+  List.iter
+    (fun r ->
+       Format.fprintf ppf "  %-6.3f %-4d %-12.4f %-12.4f %-14.4f@."
+        r.f r.x r.analytic_l1 r.analytic_l3 r.monte_carlo_l1)
+    t.rows;
+  Format.fprintf ppf "  max |analytic - monte-carlo| = %.4f@." t.max_abs_error

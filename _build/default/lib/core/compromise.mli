@@ -1,0 +1,34 @@
+(** Experiment M1 — the §3.1 analytic compromise model.
+
+    P[compromise] = 1-(1-f)^x with x the distinct ASes exposed over time
+    between client and guard, amplified to 1-(1-f)^(l*x) by l guards. The
+    table sweeps f and x, shows the l=1 vs l=3 amplification, and
+    cross-validates the closed form against Monte-Carlo sampling. *)
+
+type row = {
+  f : float;
+  x : int;
+  analytic_l1 : float;
+  analytic_l3 : float;
+  monte_carlo_l1 : float;
+}
+
+type t = {
+  rows : row list;
+  max_abs_error : float;   (** analytic vs Monte-Carlo, l=1 *)
+}
+
+val compute :
+  rng:Rng.t -> ?fs:float list -> ?xs:int list -> ?trials:int ->
+  ?universe:int -> unit -> t
+(** Defaults: f in {0.01, 0.02, 0.05, 0.1}, x in {1, 2, 4, 8, 16, 30},
+    5000 trials over a 2400-AS universe. *)
+
+val exposure_based :
+  f:float -> l:int -> As_exposure.t -> float * float
+(** Plugs the measured exposure (F3R) into the model: returns the mean
+    compromise probability using (baseline 4 ASes, baseline + measured
+    extra ASes) per case — what the month of churn actually bought the
+    adversary. *)
+
+val print : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+type t = {
+  per_as : (Asn.t * string * int) list;
+  curve : (int * float) list;
+  top5_share : float;
+  ases_for_half : int;
+  total_ases : int;
+}
+
+let compute (scenario : Scenario.t) =
+  let relays = Consensus.guard_or_exit scenario.Scenario.consensus in
+  let counts = Asn.Table.create 256 in
+  List.iter
+    (fun (r : Relay.t) ->
+       let c = Option.value ~default:0 (Asn.Table.find_opt counts r.Relay.asn) in
+       Asn.Table.replace counts r.Relay.asn (c + 1))
+    relays;
+  let per_as =
+    Asn.Table.fold
+      (fun asn c acc ->
+         ((asn, (As_graph.info scenario.Scenario.graph asn).As_graph.name, c) :: acc))
+      counts []
+    |> List.sort (fun (_, _, c1) (_, _, c2) -> Int.compare c2 c1)
+  in
+  let total = float_of_int (List.length relays) in
+  let curve =
+    let acc = ref 0 in
+    List.mapi
+      (fun i (_, _, c) ->
+         acc := !acc + c;
+         (i + 1, 100. *. float_of_int !acc /. total))
+      per_as
+  in
+  let share_at_rank k =
+    let rec last_le best = function
+      | [] -> best
+      | (rank, pct) :: rest -> if rank <= k then last_le pct rest else best
+    in
+    last_le 0. curve /. 100.
+  in
+  let ases_for_half =
+    match List.find_opt (fun (_, pct) -> pct >= 50.) curve with
+    | Some (rank, _) -> rank
+    | None -> List.length curve
+  in
+  { per_as; curve;
+    top5_share = share_at_rank 5;
+    ases_for_half;
+    total_ases = List.length per_as }
+
+let share_at t k =
+  let rec last_le best = function
+    | [] -> best
+    | (rank, pct) :: rest -> if rank <= k then last_le pct rest else best
+  in
+  last_le 0. t.curve /. 100.
+
+let print ppf t =
+  Format.fprintf ppf "F2L: concentration of guard/exit relays across ASes@.";
+  Format.fprintf ppf "  paper: 5 ASes host 20%% of guard/exit relays@.";
+  Format.fprintf ppf "  measured: top-5 share = %.1f%%, %d ASes host half, %d hosting ASes total@."
+    (100. *. t.top5_share) t.ases_for_half t.total_ases;
+  Format.fprintf ppf "  curve (x ASes -> y%% of relays):@.";
+  List.iter
+    (fun k ->
+       if k <= t.total_ases then
+         Format.fprintf ppf "    %4d -> %5.1f%%@." k (100. *. share_at t k))
+    [ 1; 2; 5; 10; 20; 50; 100; 200; 500; t.total_ases ];
+  Format.fprintf ppf "  top hosting ASes:@.";
+  List.iteri
+    (fun i (asn, name, c) ->
+       if i < 10 then
+         Format.fprintf ppf "    %-24s %-8s %4d relays@."
+           (if name = "" then "(unnamed)" else name)
+           (Asn.to_string asn) c)
+    t.per_as

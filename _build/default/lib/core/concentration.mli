@@ -1,0 +1,25 @@
+(** Experiment F2L — Figure 2 (left): Tor guard and exit relays are
+    concentrated in a handful of ASes.
+
+    A point (x, y) on the curve means the top-x relay-hosting ASes host y%
+    of guard/exit relays. Paper headline: just 5 ASes (Hetzner Online AG,
+    OVH SAS, Abovenet Communications, Fiberring, Online.net) host 20% of
+    them. *)
+
+type t = {
+  per_as : (Asn.t * string * int) list;
+      (** (AS, name, #guard/exit relays), descending *)
+  curve : (int * float) list;
+      (** (#top ASes, cumulative % of guard/exit relays) at each rank *)
+  top5_share : float;
+  ases_for_half : int;   (** #ASes hosting 50% of guard/exit relays *)
+  total_ases : int;      (** #ASes hosting at least one guard/exit relay *)
+}
+
+val compute : Scenario.t -> t
+
+val share_at : t -> int -> float
+(** Cumulative share of the top-k ASes, in [\[0, 1\]]. *)
+
+val print : Format.formatter -> t -> unit
+(** The curve at the paper's reference points plus the top-10 AS table. *)

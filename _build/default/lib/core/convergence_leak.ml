@@ -1,0 +1,58 @@
+type t = {
+  analysis_threshold : float;
+  transient_counts : int list;
+  mean_transient : float;
+  frac_cases_with_transient : float;
+  total_transient_ases : int;
+  capable_vs_transient : float * float;
+}
+
+let compute ?(analysis_threshold = 300.) (m : Measurement.t) =
+  let transient_counts = ref [] in
+  let capable_sum = ref 0 and transient_sum = ref 0 and cases = ref 0 in
+  let all_transient = ref Asn.Set.empty in
+  List.iter
+    (fun (c : Measurement.cell) ->
+       if Measurement.is_tor m c.Measurement.key.Measurement.prefix
+          && c.Measurement.baseline <> None
+       then begin
+         incr cases;
+         let base = Option.value ~default:Asn.Set.empty c.Measurement.baseline in
+         let transient = ref 0 and capable = ref 0 in
+         List.iter
+           (fun (a, d) ->
+              if not (Asn.Set.mem a base) then
+                if d >= analysis_threshold then incr capable
+                else begin
+                  incr transient;
+                  all_transient := Asn.Set.add a !all_transient
+                end)
+           c.Measurement.residency;
+         transient_counts := !transient :: !transient_counts;
+         capable_sum := !capable_sum + !capable;
+         transient_sum := !transient_sum + !transient
+       end)
+    m.Measurement.cells;
+  let n = float_of_int (max 1 !cases) in
+  { analysis_threshold;
+    transient_counts = !transient_counts;
+    mean_transient = float_of_int !transient_sum /. n;
+    frac_cases_with_transient =
+      float_of_int (List.length (List.filter (fun c -> c > 0) !transient_counts))
+      /. n;
+    total_transient_ases = Asn.Set.cardinal !all_transient;
+    capable_vs_transient =
+      (float_of_int !capable_sum /. n, float_of_int !transient_sum /. n) }
+
+let print ppf t =
+  let capable, transient = t.capable_vs_transient in
+  Format.fprintf ppf "X3: the convergence side channel (§3.1, Harvard anecdote)@.";
+  Format.fprintf ppf
+    "  extra observers per (Tor prefix, session): %.2f timing-capable (>=%.0f min) + %.2f transient@."
+    capable (t.analysis_threshold /. 60.) transient;
+  Format.fprintf ppf
+    "  %.0f%% of cases leaked to at least one transient AS; %d distinct ASes got a glimpse@."
+    (100. *. t.frac_cases_with_transient)
+    t.total_transient_ases;
+  Format.fprintf ppf
+    "  -> too brief for timing analysis, enough to log 'this client talks to a Tor guard'.@."

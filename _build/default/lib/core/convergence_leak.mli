@@ -1,0 +1,28 @@
+(** Experiment X3 — the §3.1 convergence side channel.
+
+    "BGP convergence ... allows even more far-flung ASes to get a
+    (temporary) look at the client's traffic. [It] is probably fast enough
+    to prevent these ASes from performing a successful traffic-analysis
+    attack. Still, these ASes can learn about a client's use of the Tor
+    network — information that can be combined with other data to
+    implicate the client" (the Harvard bomb-threat anecdote).
+
+    From the measurement month's residency data we split the extra ASes on
+    each (Tor prefix, session) into {e timing-capable} observers (on-path
+    at least [analysis_threshold]) and {e transient} observers — ASes that
+    only surfaced during path exploration, too briefly for correlation but
+    long enough to log "this address talks to a Tor guard". *)
+
+type t = {
+  analysis_threshold : float;    (** seconds, default 300 (the 5-min rule) *)
+  transient_counts : int list;   (** per (Tor prefix, session) case *)
+  mean_transient : float;
+  frac_cases_with_transient : float;
+  total_transient_ases : int;    (** distinct transient ASes, all prefixes *)
+  capable_vs_transient : float * float;
+      (** mean timing-capable extras vs mean transient extras *)
+}
+
+val compute : ?analysis_threshold:float -> Measurement.t -> t
+
+val print : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+(** Experiment C1 — the §5 countermeasures, evaluated.
+
+    1. {b AS-aware relay selection under path dynamics}: clients pick the
+       guard whose (dynamics-aware) client→guard AS set avoids the ASes on
+       the exit→destination segment, so no single AS can run end-to-end
+       timing analysis.
+    2. {b Shorter-AS-PATH guard preference}: stealthy (community-scoped)
+       hijacks only win at ASes with longer paths to the victim than to
+       the attacker; clients near their guards are harder to capture.
+    3. {b Real-time relay-prefix monitoring}: control-plane detection of
+       hijacks/interceptions of relay prefixes, with the paper's bias that
+       false positives are acceptable. *)
+
+type policy =
+  | Default     (** Tor's bandwidth-weighted selection *)
+  | As_aware    (** avoid common ASes across both segments *)
+  | Short_path  (** prefer guards with short client→guard AS paths *)
+
+val policy_name : policy -> string
+
+type selection_eval = {
+  policy : policy;
+  trials : int;
+  common_as_rate : float;
+      (** fraction of (client, destination) trials where at least one AS
+          sees both the entry and exit segments *)
+  mean_exposed_ases : int;
+      (** mean distinct ASes on the entry segment, dynamics included *)
+  model_compromise : float;
+      (** mean over trials of 1-(1-f)^c with c = #ASes seeing both
+          segments: the probability a timing-capable AS is malicious *)
+}
+
+val selection :
+  rng:Rng.t -> ?n_trials:int -> ?f:float -> ?candidates:int ->
+  ?failure_variants:int -> Scenario.t -> selection_eval list
+(** Evaluates all three policies on the same (client, destination,
+    candidate-guard) draws. [failure_variants] extra routing states (each
+    with one random core link down) model path dynamics when computing
+    exposure (default 3). Defaults: 30 trials, f = 0.05, 12 candidate
+    guards. *)
+
+type stealth_eval = {
+  s_policy : policy;
+  s_trials : int;
+  captured_rate : float;
+      (** fraction of trials where a radius-limited interception of the
+          chosen guard's prefix captures the client's traffic *)
+}
+
+val stealth_resilience :
+  rng:Rng.t -> ?n_trials:int -> ?radius:int -> ?candidates:int ->
+  Scenario.t -> stealth_eval list
+(** Community-scoped interception (default radius 3) against clients using
+    Default vs Short_path guard selection. *)
+
+type monitoring_eval = {
+  n_attacks : int;
+  detected : int;
+  recall : float;
+  alarms_total : int;
+  alarms_on_attacked : int;
+  precision : float;
+  mean_detection_delay : float;  (** seconds from injection to first alarm *)
+}
+
+val monitoring :
+  rng:Rng.t -> ?n_attacks:int -> ?dynamics:Dynamics.config -> Scenario.t ->
+  monitoring_eval
+(** Injects hijacks of random Tor prefixes into a simulated measurement
+    period and scores the {!Detection} monitor against ground truth.
+    Default: 6 attacks over {!Dynamics.short_config}. *)
+
+val print_selection : Format.formatter -> selection_eval list -> unit
+val print_stealth : Format.formatter -> stealth_eval list -> unit
+val print_monitoring : Format.formatter -> monitoring_eval -> unit

@@ -1,0 +1,63 @@
+(** Experiments A1/A2 — §3.2: deanonymization through active BGP attacks.
+
+    A1 (prefix hijack): the adversary hijacks the prefix of the guard used
+    by a monitored connection. Traffic from the captured part of the
+    Internet blackholes at the adversary, who reads IP headers and learns
+    the {e anonymity set} — which clients were talking to that guard.
+
+    A2 (prefix interception): the adversary intercepts instead, keeping
+    connections alive, and exactly deanonymizes captured clients by
+    timing analysis (modelled by the measured F2R matching accuracy). *)
+
+type hijack_trial = {
+  guard : Relay.t;
+  victim_prefix : Prefix.t;
+  attacker : Asn.t;
+  n_clients : int;                (** clients of the guard before the attack *)
+  anonymity_set_size : int;       (** clients the adversary observes *)
+  target_captured : bool;         (** the monitored client is in the set *)
+  capture_fraction : float;       (** of all routed ASes *)
+  entropy_bits_before : float;
+  entropy_bits_after : float;     (** given the target was captured *)
+}
+
+type hijack_summary = {
+  trials : hijack_trial list;
+  mean_capture : float;
+  target_capture_rate : float;
+  mean_set_reduction : float;     (** anonymity-set size / clients *)
+  mean_entropy_loss : float;      (** bits, over trials with capture *)
+}
+
+val hijack :
+  rng:Rng.t -> ?n_trials:int -> ?n_clients:int -> Scenario.t -> hijack_summary
+(** Each trial: a bandwidth-weighted random guard, a random adversary AS,
+    [n_clients] clients of that guard in random stub ASes (one of them the
+    target), a same-prefix hijack. Defaults: 20 trials, 40 clients. *)
+
+type interception_trial = {
+  i_guard : Relay.t;
+  i_attacker : Asn.t;
+  feasible : bool;                (** clean return path exists *)
+  i_capture_fraction : float;
+  i_target_captured : bool;
+  deanonymized : bool;            (** captured && feasible && timing match *)
+}
+
+type interception_summary = {
+  i_trials : interception_trial list;
+  feasibility_rate : float;
+  i_target_capture_rate : float;
+  deanonymization_rate : float;
+  timing_accuracy : float;        (** the F2R matching accuracy used *)
+}
+
+val interception :
+  rng:Rng.t -> ?n_trials:int -> ?timing_accuracy:float -> Scenario.t ->
+  interception_summary
+(** [timing_accuracy] defaults to running a fresh {!Asymmetric.deanonymize}
+    (6 flows, 4 MB); pass a cached value to avoid the traffic simulation.
+    Defaults: 20 trials. *)
+
+val print_hijack : Format.formatter -> hijack_summary -> unit
+val print_interception : Format.formatter -> interception_summary -> unit

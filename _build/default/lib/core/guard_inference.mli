@@ -1,0 +1,36 @@
+(** Guard inference — the precursor the §3.2 attacks assume ("the adversary
+    can first use existing attacks on Tor to infer what guard relay the
+    connection uses", citing Murdoch–Danezis congestion analysis and
+    throughput fingerprinting).
+
+    Model: the adversary congests candidate guards one at a time and
+    watches the target flow's throughput. Probing the true guard dents the
+    flow by [signal] (relative units); probing any other relay yields only
+    measurement noise (Gaussian, sigma [noise_sigma]). Repeating each probe
+    [probes] times averages the noise down, so inference accuracy is
+    governed by signal * sqrt(probes) / noise — and by whether the true
+    guard is in the probed candidate set at all. *)
+
+type config = {
+  n_candidates : int;   (** adversary probes the top-N guards by weight *)
+  signal : float;       (** throughput dent when congesting the true guard *)
+  noise_sigma : float;  (** per-probe measurement noise *)
+  probes : int;         (** repetitions per candidate *)
+}
+
+val default_config : config
+(** 12 candidates, signal 0.4, sigma 0.25, 3 probes. *)
+
+type result = {
+  inferred : Relay.t option;  (** the top-scoring candidate *)
+  correct : bool;
+  true_guard_probed : bool;   (** was the real guard even in the set? *)
+}
+
+val infer :
+  rng:Rng.t -> ?config:config -> Consensus.t -> true_guard:Relay.t -> result
+
+val success_rate :
+  rng:Rng.t -> ?config:config -> ?trials:int -> Consensus.t -> float
+(** Empirical accuracy over random (bandwidth-weighted) true guards —
+    the probability the §3.2 pipeline starts from the right victim. *)

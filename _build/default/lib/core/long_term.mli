@@ -1,0 +1,65 @@
+(** Experiment M2 — long-term anonymity and guard design (§2).
+
+    "When users communicate with recipients over multiple time instances,
+    there is a potential for compromise of anonymity at every
+    communication instance." Guards were Tor's answer against malicious
+    relays; the paper observes that the {e ASes} on the client→guard paths
+    keep changing even when the guard does not.
+
+    This experiment simulates clients communicating daily over many weeks
+    against a fixed set of colluding malicious ASes and records the time to
+    first compromise (a day on which one malicious AS sees both the entry
+    and exit segment) under different guard designs:
+
+    - no guards (a fresh entry relay every day — pre-guard Tor);
+    - l guards rotated every [rotation_days] (e.g. 3 guards / 30 days, the
+      2014 deployment);
+    - 1 guard / 270 days (the "one fast guard for life (or 9 months)"
+      proposal the paper cites).
+
+    Path dynamics are modelled by drawing each day's routing state from a
+    small pool of single-link-failure variants. *)
+
+type config = {
+  n_clients : int;           (** trial clients (default 40) *)
+  horizon_days : int;        (** simulated days (default 120) *)
+  f : float;                 (** fraction of malicious ASes (default 0.03) *)
+  n_guards : int;            (** guard-set size *)
+  rotation_days : int;       (** guard-set lifetime; max_int = never *)
+  use_guards : bool;         (** false = fresh entry relay daily *)
+  failure_variants : int;    (** routing states modelling BGP dynamics *)
+}
+
+val default_config : config
+(** 3 guards / 30 days — the deployment the paper describes. *)
+
+type outcome = {
+  label : string;
+  compromised_fraction : float;  (** clients compromised within horizon *)
+  median_day : int option;       (** median day of first compromise *)
+  mean_exposed_per_day : float;  (** mean entry-segment ASes per day *)
+  days_to_compromise : int list; (** raw first-compromise days *)
+  clients : int;                 (** client-trials behind the fractions *)
+}
+
+type routing_pool
+(** Cached per-(prefix, routing-variant) outcomes, shareable across runs. *)
+
+val make_pool :
+  rng:Rng.t -> Scenario.t -> failure_variants:int -> routing_pool
+
+val run :
+  rng:Rng.t -> ?config:config -> ?pool:routing_pool -> ?malicious:Asn.Set.t ->
+  Scenario.t -> outcome
+(** One configuration. [malicious] overrides the random adversary draw
+    (used to compare designs against the same adversary). Deterministic
+    given [rng]. *)
+
+val compare_designs :
+  rng:Rng.t -> ?horizon_days:int -> ?f:float -> ?n_draws:int -> Scenario.t ->
+  outcome list
+(** The §2 comparison: no guards vs 3/30d vs 1/270d vs 3/never. Each design
+    faces the same [n_draws] (default 10) independent adversary draws, with
+    a shared routing pool; results are aggregated over all draws. *)
+
+val print : Format.formatter -> outcome list -> unit

@@ -1,0 +1,189 @@
+type key = { session : Update.session_id; prefix : Prefix.t }
+
+type acc = {
+  a_key : key;
+  mutable a_baseline : Asn.Set.t option;
+  mutable a_updates : int;
+  mutable a_changes : int;
+  mutable a_current : Asn.Set.t option;
+  mutable a_since : float;
+  a_residency : (Asn.t, float) Hashtbl.t;
+}
+
+type cell = {
+  key : key;
+  baseline : Asn.Set.t option;
+  updates : int;
+  path_changes : int;
+  residency : (Asn.t * float) list;
+  final_set : Asn.Set.t option;
+}
+
+type t = {
+  scenario : Scenario.t;
+  duration : float;
+  initial : Dynamics.initial;
+  cells : cell list;
+  dyn_stats : Dynamics.stats;
+  filter_stats : Session_reset.stats option;
+  visibility : int Prefix.Table.t;  (* sessions that ever saw the prefix *)
+  n_sessions : int;
+}
+
+module Key_table = Hashtbl.Make (struct
+    type t = key
+
+    let equal a b =
+      Update.session_equal a.session b.session && Prefix.equal a.prefix b.prefix
+
+    let hash k = (Hashtbl.hash k.session.Update.collector * 31)
+                 + (Asn.hash k.session.Update.peer * 7)
+                 + Prefix.hash k.prefix
+  end)
+
+let credit_residency acc until =
+  match acc.a_current with
+  | None -> ()
+  | Some set ->
+      let dt = until -. acc.a_since in
+      if dt > 0. then
+        Asn.Set.iter
+          (fun a ->
+             let cur = Option.value ~default:0. (Hashtbl.find_opt acc.a_residency a) in
+             Hashtbl.replace acc.a_residency a (cur +. dt))
+          set
+
+let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
+    ?(extra_updates = []) ?observe scenario =
+  let rng = Scenario.rng_for scenario "measurement" in
+  let table : acc Key_table.t = Key_table.create 65536 in
+  let get_acc key =
+    match Key_table.find_opt table key with
+    | Some a -> a
+    | None ->
+        let a =
+          { a_key = key; a_baseline = None; a_updates = 0; a_changes = 0;
+            a_current = None; a_since = 0.;
+            a_residency = Hashtbl.create 8 }
+        in
+        Key_table.replace table key a;
+        a
+  in
+  let consume (u : Update.t) =
+    (match observe with Some f -> f u | None -> ());
+    let key = { session = u.Update.session; prefix = Update.prefix u } in
+    let acc = get_acc key in
+    match u.Update.kind with
+    | Update.Announce route ->
+        acc.a_updates <- acc.a_updates + 1;
+        let set = Route.as_set route in
+        (match acc.a_current with
+         | Some old when Asn.Set.equal old set -> ()
+         | Some _ -> acc.a_changes <- acc.a_changes + 1
+         | None -> ());
+        credit_residency acc u.Update.time;
+        acc.a_current <- Some set;
+        acc.a_since <- u.Update.time
+    | Update.Withdraw _ ->
+        credit_residency acc u.Update.time;
+        acc.a_current <- None;
+        acc.a_since <- u.Update.time
+  in
+  (* Merge the (time-sorted) attack updates into the stream. *)
+  let pending_extra = ref extra_updates in
+  let flush_extra_until time =
+    let rec loop () =
+      match !pending_extra with
+      | e :: rest when e.Update.time <= time ->
+          pending_extra := rest;
+          consume e;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  let downstream u =
+    flush_extra_until u.Update.time;
+    consume u
+  in
+  let filter_state =
+    if no_filter then None
+    else Some (Session_reset.create ?config:filter ~emit:downstream ())
+  in
+  let emit =
+    match filter_state with
+    | Some f -> Session_reset.push f
+    | None -> downstream
+  in
+  (* Baselines and reset-filter table sizes come from the time-0 tables,
+     registered before any update flows. *)
+  let on_initial initial =
+    Update.Session_map.iter
+      (fun session table0 ->
+         (match filter_state with
+          | Some f ->
+              Session_reset.preload_table f session (Prefix.Map.cardinal table0)
+          | None -> ());
+         Prefix.Map.iter
+           (fun prefix route ->
+              let acc = get_acc { session; prefix } in
+              let set = Route.as_set route in
+              acc.a_baseline <- Some set;
+              acc.a_current <- Some set;
+              acc.a_since <- 0.)
+           table0)
+      initial
+  in
+  let initial, dyn_stats =
+    Dynamics.run ~rng ~on_initial dynamics scenario.Scenario.world ~emit
+  in
+  (match filter_state with
+   | Some f -> Session_reset.flush f
+   | None -> ());
+  flush_extra_until infinity;
+  let duration = dynamics.Dynamics.duration in
+  let visibility = Prefix.Table.create 4096 in
+  let cells =
+    Key_table.fold
+      (fun key acc out ->
+         credit_residency acc duration;
+         if acc.a_baseline <> None || acc.a_updates > 0 then begin
+           let cur = Option.value ~default:0 (Prefix.Table.find_opt visibility key.prefix) in
+           Prefix.Table.replace visibility key.prefix (cur + 1)
+         end;
+         { key;
+           baseline = acc.a_baseline;
+           updates = acc.a_updates;
+           path_changes = acc.a_changes;
+           residency = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_residency [];
+           final_set = acc.a_current }
+         :: out)
+      table []
+  in
+  { scenario; duration; initial; cells; dyn_stats;
+    filter_stats = Option.map Session_reset.stats filter_state;
+    visibility;
+    n_sessions = List.length (Scenario.sessions scenario) }
+
+let cells_for_session t session =
+  List.filter (fun c -> Update.session_equal c.key.session session) t.cells
+
+let is_tor t p = Tor_prefix.is_tor_prefix t.scenario.Scenario.tor_prefixes p
+
+let changes_of c = c.path_changes
+
+let extra_ases ?(threshold = 300.) cell =
+  match cell.baseline with
+  | None -> Asn.Set.empty
+  | Some base ->
+      List.fold_left
+        (fun acc (a, d) ->
+           if d >= threshold && not (Asn.Set.mem a base) then Asn.Set.add a acc
+           else acc)
+        Asn.Set.empty cell.residency
+
+let visibility_fraction t p =
+  if t.n_sessions = 0 then 0.
+  else
+    float_of_int (Option.value ~default:0 (Prefix.Table.find_opt t.visibility p))
+    /. float_of_int t.n_sessions

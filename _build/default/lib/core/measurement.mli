@@ -1,0 +1,64 @@
+(** The paper's §4 measurement pipeline, end to end: simulate a month of
+    BGP over the scenario, filter session-reset artifacts, and accumulate
+    per-(session, prefix) statistics streamingly:
+
+    - {b path changes}: transitions between announcements whose AS {e set}
+      differs (the paper's definition of a path change);
+    - {b AS residency}: how long each AS spent on the observed path, so
+      the 5-minute exposure rule of Figure 3 (right) can be applied;
+    - visibility (which sessions learned which prefixes — the T1 dataset
+      numbers).
+
+    The dynamics stream can be spiked with extra (attack) updates, which
+    are merged in time order — that is how the §5 monitoring experiments
+    inject hijacks into an otherwise normal month. *)
+
+type key = { session : Update.session_id; prefix : Prefix.t }
+
+type cell = {
+  key : key;
+  baseline : Asn.Set.t option;   (** AS set of the initial route *)
+  updates : int;                 (** announcements seen (post-filter) *)
+  path_changes : int;
+  residency : (Asn.t * float) list;
+      (** total seconds each AS spent on this (session, prefix) path *)
+  final_set : Asn.Set.t option;
+}
+
+type t = {
+  scenario : Scenario.t;
+  duration : float;
+  initial : Dynamics.initial;
+  cells : cell list;
+  dyn_stats : Dynamics.stats;
+  filter_stats : Session_reset.stats option;
+  visibility : int Prefix.Table.t;
+      (** per prefix: number of sessions that ever saw it *)
+  n_sessions : int;
+}
+
+val run :
+  ?dynamics:Dynamics.config ->
+  ?filter:Session_reset.config ->
+  ?no_filter:bool ->
+  ?extra_updates:Update.t list ->
+  ?observe:(Update.t -> unit) ->
+  Scenario.t -> t
+(** Runs the full pipeline (deterministic given the scenario; the RNG
+    stream is derived from the scenario seed). [no_filter] disables
+    session-reset filtering (the ablation). [observe] sees every
+    post-filter update, in per-session time order — attach monitors here.
+    [extra_updates] must be time-sorted. *)
+
+val cells_for_session : t -> Update.session_id -> cell list
+
+val is_tor : t -> Prefix.t -> bool
+
+val changes_of : cell -> int
+val extra_ases : ?threshold:float -> cell -> Asn.Set.t
+(** ASes with residency >= threshold (default 300 s) that are not in the
+    baseline AS set. Empty if the cell has no baseline (prefix never seen
+    at time 0 on this session). *)
+
+val visibility_fraction : t -> Prefix.t -> float
+(** Fraction of sessions on which the prefix was ever visible. *)

@@ -1,0 +1,89 @@
+type t = {
+  ratios : float list;
+  ccdf : Ccdf.t;
+  frac_above_one : float;
+  max_ratio : float;
+  frac_tor_beating_median_somewhere : float;
+  per_session_median : (Update.session_id * float) list;
+  busiest : (Prefix.t * Update.session_id * int) option;
+}
+
+let compute (m : Measurement.t) =
+  (* Group cells by session. *)
+  let by_session = Hashtbl.create 128 in
+  List.iter
+    (fun (c : Measurement.cell) ->
+       let id = c.Measurement.key.Measurement.session in
+       let key = (id.Update.collector, Asn.to_int id.Update.peer) in
+       let cur = Option.value ~default:[] (Hashtbl.find_opt by_session key) in
+       Hashtbl.replace by_session key (c :: cur))
+    m.Measurement.cells;
+  let ratios = ref [] in
+  let per_session_median = ref [] in
+  let beating = Prefix.Table.create 256 in   (* Tor prefix -> beat somewhere *)
+  let tor_seen = Prefix.Table.create 256 in
+  let busiest = ref None in
+  Hashtbl.iter
+    (fun _ cells ->
+       match cells with
+       | [] -> ()
+       | (first : Measurement.cell) :: _ ->
+           let session = first.Measurement.key.Measurement.session in
+           let all_changes =
+             List.map (fun c -> float_of_int c.Measurement.path_changes) cells
+           in
+           let median = Stats.median all_changes in
+           per_session_median := (session, median) :: !per_session_median;
+           (* Ratios are only defined where the session's median is
+              nonzero; the paper's sessions all saw background churn. We
+              floor the median at 1 change to keep ratios finite, which
+              only makes the comparison harder for Tor prefixes. *)
+           let denom = Float.max 1. median in
+           List.iter
+             (fun (c : Measurement.cell) ->
+                let p = c.Measurement.key.Measurement.prefix in
+                if Measurement.is_tor m p then begin
+                  Prefix.Table.replace tor_seen p ();
+                  let r = float_of_int c.Measurement.path_changes /. denom in
+                  ratios := r :: !ratios;
+                  if r > 1. then Prefix.Table.replace beating p ();
+                  (match !busiest with
+                   | Some (_, _, best) when best >= c.Measurement.path_changes -> ()
+                   | _ ->
+                       busiest :=
+                         Some (p, c.Measurement.key.Measurement.session,
+                               c.Measurement.path_changes))
+                end)
+             cells)
+    by_session;
+  let ratios = !ratios in
+  let ccdf = Ccdf.of_samples (match ratios with [] -> [ 0. ] | r -> r) in
+  let n = float_of_int (max 1 (List.length ratios)) in
+  let above = List.length (List.filter (fun r -> r > 1.) ratios) in
+  let tor_count = max 1 (Prefix.Table.length tor_seen) in
+  { ratios; ccdf;
+    frac_above_one = float_of_int above /. n;
+    max_ratio = List.fold_left Float.max 0. ratios;
+    frac_tor_beating_median_somewhere =
+      float_of_int (Prefix.Table.length beating) /. float_of_int tor_count;
+    per_session_median = !per_session_median;
+    busiest = !busiest }
+
+let print ppf t =
+  Format.fprintf ppf "F3L: path-change ratio of Tor prefixes vs session median (CCDF)@.";
+  Format.fprintf ppf
+    "  paper: >50%% of pairs above 1x; tail to >2000x; 90%% of Tor prefixes beat the median somewhere@.";
+  Format.fprintf ppf
+    "  measured: %.1f%% of pairs above 1x; max ratio %.0fx; %.1f%% of Tor prefixes beat the median somewhere@."
+    (100. *. t.frac_above_one) t.max_ratio
+    (100. *. t.frac_tor_beating_median_somewhere);
+  Format.fprintf ppf "  CCDF (ratio -> %% of pairs at or above):@.";
+  List.iter
+    (fun x ->
+       Format.fprintf ppf "    %7.1fx -> %5.1f%%@." x (100. *. Ccdf.at t.ccdf x))
+    [ 0.2; 0.5; 1.; 2.; 5.; 10.; 50.; 100.; 1000. ];
+  match t.busiest with
+  | Some (p, s, changes) ->
+      Format.fprintf ppf "  busiest: %a on %a with %d changes@." Prefix.pp p
+        Update.pp_session s changes
+  | None -> ()

@@ -1,0 +1,33 @@
+(** Experiment X2 — quantifying the §3.3 claim that "asymmetric routing
+    increases the security risk, by increasing the number of ASes that lie
+    on some path (either forward or reverse) at each end".
+
+    For (client, guard) pairs we compute the data-plane AS walk in both
+    directions (policy routing is not symmetric: each side picks its own
+    best route). A conventional adversary must sit on the {e forward} path
+    at both ends; the asymmetric attacker of §3.3 only needs to sit on
+    {e either direction} at each end — a strictly larger AS set. *)
+
+type pair = {
+  client : Asn.t;
+  guard : Relay.t;
+  forward : Asn.Set.t;   (** ASes on client -> guard *)
+  reverse : Asn.Set.t;   (** ASes on guard -> client *)
+}
+
+type t = {
+  pairs : pair list;
+  asymmetric_fraction : float;
+      (** pairs where forward and reverse AS sets differ *)
+  mean_forward : float;         (** mean |forward| *)
+  mean_union : float;           (** mean |forward ∪ reverse| *)
+  mean_gain : float;            (** mean (|union| - |forward|) *)
+  compromise_forward : float;   (** mean 1-(1-f)^|forward| *)
+  compromise_union : float;     (** mean 1-(1-f)^|union| *)
+}
+
+val compute :
+  rng:Rng.t -> ?n_pairs:int -> ?f:float -> Scenario.t -> t
+(** Defaults: 40 (client, guard) pairs, f = 0.05. *)
+
+val print : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type size = Paper | Small
+
+type t = {
+  seed : int;
+  size : size;
+  graph : As_graph.t;
+  indexed : As_graph.Indexed.t;
+  addressing : Addressing.t;
+  collectors : Collector.t list;
+  consensus : Consensus.t;
+  tor_prefixes : Tor_prefix.t;
+  world : Dynamics.world;
+}
+
+let build ~seed size =
+  let rng = Rng.of_int seed in
+  let topo_rng = Rng.split rng in
+  let addr_rng = Rng.split rng in
+  let coll_rng = Rng.split rng in
+  let cons_rng = Rng.split rng in
+  let topo_params, cons_params, sessions_per_collector =
+    match size with
+    | Paper -> (Topo_gen.default_params, Consensus.paper_params, 18)
+    | Small -> (Topo_gen.small_params, Consensus.small_params, 5)
+  in
+  let graph = Topo_gen.generate ~rng:topo_rng topo_params in
+  let addressing = Addressing.allocate ~rng:addr_rng graph in
+  let collectors =
+    Collector.standard_setup ~rng:coll_rng ~sessions_per_collector graph addressing
+  in
+  let consensus = Consensus.generate ~rng:cons_rng ~params:cons_params graph addressing in
+  let tor_prefixes = Tor_prefix.compute addressing consensus in
+  let world = Dynamics.make_world graph addressing collectors in
+  { seed; size; graph; indexed = world.Dynamics.indexed; addressing;
+    collectors; consensus; tor_prefixes; world }
+
+let sessions t = Collector.all_sessions t.collectors
+
+let rng_for t name =
+  (* Derive a stream from the seed and the experiment name only, so that
+     running experiments in any order gives identical results. *)
+  let h = Hashtbl.hash name in
+  Rng.create (Int64.add (Int64.of_int t.seed) (Int64.mul 0x9E37L (Int64.of_int h)))
+
+let guard_announcement t relay =
+  match Tor_prefix.prefix_of_relay t.tor_prefixes relay with
+  | Some (prefix, origin) -> Some (Announcement.originate origin prefix)
+  | None -> begin
+      match Addressing.covering_prefix t.addressing relay.Relay.ip with
+      | Some (prefix, origin) -> Some (Announcement.originate origin prefix)
+      | None -> None
+    end
+
+let random_client_as ~rng t =
+  let relay_ases =
+    Array.fold_left
+      (fun acc (r : Relay.t) -> Asn.Set.add r.Relay.asn acc)
+      Asn.Set.empty t.consensus.Consensus.relays
+  in
+  let candidates =
+    As_graph.ases t.graph
+    |> List.filter (fun a ->
+        (match (As_graph.info t.graph a).As_graph.tier with
+         | As_graph.Stub -> true
+         | As_graph.Tier1 | As_graph.Transit -> false)
+        && not (Asn.Set.mem a relay_ases)
+        && Addressing.prefixes_of t.addressing a <> [])
+    |> Array.of_list
+  in
+  Rng.pick rng candidates
+
+let monitors t =
+  sessions t |> List.map (fun s -> s.Collector.id.Update.peer)
+  |> List.sort_uniq Asn.compare

@@ -1,0 +1,39 @@
+(** A fully-instantiated measurement scenario: the synthetic Internet, its
+    BGP table, the RIS-style collectors and the Tor network living on top.
+    Every experiment in this library starts from one of these; equal seeds
+    give bit-identical scenarios. *)
+
+type size =
+  | Paper  (** ~2 400 ASes, 4 586 relays — the §4 scale *)
+  | Small  (** ~220 ASes, 230 relays — tests and examples *)
+
+type t = {
+  seed : int;
+  size : size;
+  graph : As_graph.t;
+  indexed : As_graph.Indexed.t;
+  addressing : Addressing.t;
+  collectors : Collector.t list;
+  consensus : Consensus.t;
+  tor_prefixes : Tor_prefix.t;
+  world : Dynamics.world;
+}
+
+val build : seed:int -> size -> t
+
+val sessions : t -> Collector.session list
+
+val rng_for : t -> string -> Rng.t
+(** A deterministic RNG stream for a named sub-experiment, independent of
+    streams consumed while building the scenario. *)
+
+val guard_announcement : t -> Relay.t -> Announcement.t option
+(** The legitimate BGP announcement covering a relay: its Tor prefix with
+    its true origin — what a hijacker must compete with. [None] if the
+    relay's address is unrouted. *)
+
+val random_client_as : rng:Rng.t -> t -> Asn.t
+(** A stub AS that hosts no relays (a plausible client location). *)
+
+val monitors : t -> Asn.t list
+(** The collector peer ASes — where control-plane monitoring can look. *)

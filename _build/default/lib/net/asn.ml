@@ -1,0 +1,26 @@
+type t = int
+
+let of_int i =
+  if i < 0 || i > 0xFFFFFFFF then invalid_arg "Asn.of_int: out of range";
+  i
+
+let to_int a = a
+let compare = Int.compare
+let equal = Int.equal
+let hash a = a
+let to_string a = Printf.sprintf "AS%d" a
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+module Key = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Set = Set.Make (Key)
+module Map = Map.Make (Key)
+
+module Table = Hashtbl.Make (struct
+    type nonrec t = t
+    let equal = equal
+    let hash = hash
+  end)

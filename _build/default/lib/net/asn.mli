@@ -1,0 +1,19 @@
+(** Autonomous System numbers. *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument if negative or above 2^32-1. *)
+
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Renders as ["AS64512"]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

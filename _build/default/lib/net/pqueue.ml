@@ -1,0 +1,79 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && lt q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && lt q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q key value =
+  if q.size = Array.length q.heap then begin
+    let cap = max 16 (2 * Array.length q.heap) in
+    let entry = { key; seq = 0; value } in
+    let heap = Array.make cap entry in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end;
+  q.heap.(q.size) <- { key; seq = q.next_seq; value };
+  q.next_seq <- q.next_seq + 1;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let min_key q = if q.size = 0 then None else Some q.heap.(0).key
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let pop_until q limit =
+  let rec loop acc =
+    match min_key q with
+    | Some k when k <= limit -> begin
+        match pop q with
+        | Some (key, v) -> loop ((key, v) :: acc)
+        | None -> List.rev acc
+      end
+    | Some _ | None -> List.rev acc
+  in
+  loop []
+
+let drain q = pop_until q infinity

@@ -1,0 +1,25 @@
+(** Minimal mutable min-priority queue (binary heap) keyed by float.
+
+    Used by the BGP dynamics simulator for pending timed events and for
+    time-ordering emitted updates. Ties are popped in insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q key v] inserts [v] with priority [key]. *)
+
+val min_key : 'a t -> float option
+(** Smallest key, without popping. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the smallest key. *)
+
+val pop_until : 'a t -> float -> (float * 'a) list
+(** [pop_until q limit] pops all entries with key <= [limit], in key order. *)
+
+val drain : 'a t -> (float * 'a) list
+(** Pops everything, in key order. *)

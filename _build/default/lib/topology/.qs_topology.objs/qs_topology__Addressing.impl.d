@@ -1,0 +1,1 @@
+lib/topology/addressing.ml: As_graph Asn Int Ipv4 List Prefix Prefix_trie Rng

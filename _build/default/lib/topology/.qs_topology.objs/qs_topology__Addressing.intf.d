@@ -1,0 +1,1 @@
+lib/topology/addressing.mli: As_graph Asn Ipv4 Prefix Prefix_trie Rng

@@ -1,0 +1,1 @@
+lib/topology/as_graph.ml: Array Asn Buffer List Printf Relationship String

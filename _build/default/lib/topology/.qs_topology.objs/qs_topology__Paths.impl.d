@@ -1,0 +1,1 @@
+lib/topology/paths.ml: As_graph Asn List Option Queue Relationship

@@ -1,0 +1,156 @@
+type params = {
+  n_tier1 : int;
+  n_transit : int;
+  n_stub : int;
+  n_hosting : int;
+  multihoming_prob : float;
+  transit_peering_prob : float;
+}
+
+let default_params =
+  { n_tier1 = 12;
+    n_transit = 350;
+    n_stub = 2000;
+    n_hosting = 60;
+    multihoming_prob = 0.45;
+    transit_peering_prob = 0.5 }
+
+let small_params =
+  { n_tier1 = 5;
+    n_transit = 40;
+    n_stub = 175;
+    n_hosting = 12;
+    multihoming_prob = 0.45;
+    transit_peering_prob = 0.25 }
+
+(* The paper's top five relay-hosting ASes (Figure 2 left). *)
+let famous_hosters =
+  [| "Hetzner Online AG"; "OVH SAS"; "Abovenet Communications";
+     "Fiberring"; "Online.net" |]
+
+let generate ~rng p =
+  if p.n_tier1 < 2 || p.n_transit < 0 || p.n_stub < 0 || p.n_hosting < 0 then
+    invalid_arg "Topo_gen.generate: bad parameters";
+  let g = As_graph.create () in
+  let next_asn = ref 0 in
+  let fresh_asn () = incr next_asn; Asn.of_int !next_asn in
+  let add tier name weight =
+    let a = fresh_asn () in
+    As_graph.add_as g a { As_graph.name; tier; hosting_weight = weight };
+    a
+  in
+  (* Tier-1 core: full peering mesh. *)
+  let tier1 =
+    Array.init p.n_tier1 (fun i -> add As_graph.Tier1 (Printf.sprintf "Core-%d" (i + 1)) 0.)
+  in
+  Array.iteri
+    (fun i a ->
+       for j = i + 1 to p.n_tier1 - 1 do
+         As_graph.add_peering g a tier1.(j)
+       done)
+    tier1;
+  (* Transit providers: preferential attachment to earlier transits/Tier-1s
+     by current customer count, so customer-cone sizes come out heavy-tailed. *)
+  let transits = Array.make (max p.n_transit 1) tier1.(0) in
+  let provider_pool () =
+    (* candidate providers with weight = 1 + #customers so far *)
+    let candidates =
+      Array.append tier1 (Array.sub transits 0 (min p.n_transit (max 0 (!next_asn - p.n_tier1))))
+    in
+    candidates
+  in
+  for i = 0 to p.n_transit - 1 do
+    let a = add As_graph.Transit (Printf.sprintf "Transit-%d" (i + 1)) 0. in
+    transits.(i) <- a;
+    let candidates = provider_pool () in
+    let weights =
+      Array.map (fun c -> 1.0 +. float_of_int (List.length (As_graph.customers g c)))
+        candidates
+    in
+    let n_providers = 1 + Rng.int rng 3 in
+    let chosen = ref Asn.Set.empty in
+    let attempts = ref 0 in
+    while Asn.Set.cardinal !chosen < n_providers && !attempts < 20 do
+      incr attempts;
+      let c = candidates.(Rng.weighted_index rng weights) in
+      if not (Asn.equal c a) && not (Asn.Set.mem c !chosen) then
+        chosen := Asn.Set.add c !chosen
+    done;
+    Asn.Set.iter (fun c -> As_graph.add_provider_customer g ~provider:c ~customer:a) !chosen;
+    (* Some lateral peering among transits (settlement-free meshes are how
+       partial collector feeds end up seeing peer routes). *)
+    if i > 0 && Rng.float rng 1.0 < p.transit_peering_prob then begin
+      let n_peers = 1 + Rng.int rng 2 in
+      for _ = 1 to n_peers do
+        let peer = transits.(Rng.int rng i) in
+        if As_graph.relationship g a peer = None then As_graph.add_peering g a peer
+      done
+    end
+  done;
+  let transits = Array.sub transits 0 p.n_transit in
+  (* Hub peering mesh: the biggest transits (by customer count) peer densely
+     with each other, IXP-style. This is what lets partial collector feeds
+     (customer+peer exports) still see a large share of the table. *)
+  if Array.length transits > 0 then begin
+    let by_customers = Array.copy transits in
+    Array.sort
+      (fun a b ->
+         Int.compare
+           (List.length (As_graph.customers g b))
+           (List.length (As_graph.customers g a)))
+      by_customers;
+    let n_hubs = max 8 (Array.length transits / 8) in
+    let n_hubs = min n_hubs (Array.length by_customers) in
+    for i = 0 to n_hubs - 1 do
+      for j = i + 1 to n_hubs - 1 do
+        if Rng.float rng 1.0 < 0.5
+           && As_graph.relationship g by_customers.(i) by_customers.(j) = None
+        then As_graph.add_peering g by_customers.(i) by_customers.(j)
+      done
+    done
+  end;
+  (* Decide which stubs are hosting ASes (hosting providers live at the edge
+     in practice: Hetzner, OVH etc. are stubs or small transits). *)
+  let hosting_indices = Hashtbl.create 64 in
+  let n_stub_effective = max p.n_stub 1 in
+  let placed = ref 0 in
+  while !placed < min p.n_hosting p.n_stub do
+    let idx = Rng.int rng n_stub_effective in
+    if not (Hashtbl.mem hosting_indices idx) then begin
+      Hashtbl.replace hosting_indices idx !placed;
+      incr placed
+    end
+  done;
+  (* Stub ASes: 1-2 providers picked preferentially among transits. *)
+  for i = 0 to p.n_stub - 1 do
+    let rank = Hashtbl.find_opt hosting_indices i in
+    let name, weight =
+      match rank with
+      | Some r when r < Array.length famous_hosters ->
+          (* The top hosters get Zipf-like dominant weights. *)
+          (famous_hosters.(r), 32.0 /. float_of_int (r + 1))
+      | Some r -> (Printf.sprintf "Hosting-%d" (r + 1), Rng.pareto rng ~alpha:1.3 ~xmin:0.4)
+      | None -> (Printf.sprintf "Stub-%d" (i + 1), 0.)
+    in
+    let a = add As_graph.Stub name weight in
+    let pool = if Array.length transits > 0 then transits else tier1 in
+    let weights =
+      Array.map (fun c -> 1.0 +. float_of_int (List.length (As_graph.customers g c))) pool
+    in
+    let p1 = pool.(Rng.weighted_index rng weights) in
+    As_graph.add_provider_customer g ~provider:p1 ~customer:a;
+    if Rng.float rng 1.0 < p.multihoming_prob then begin
+      let p2 = pool.(Rng.weighted_index rng weights) in
+      if As_graph.relationship g a p2 = None then
+        As_graph.add_provider_customer g ~provider:p2 ~customer:a
+    end
+  done;
+  g
+
+let hosting_ases g =
+  As_graph.ases g
+  |> List.filter_map (fun a ->
+      let i = As_graph.info g a in
+      if i.As_graph.hosting_weight > 0. then Some (a, i.As_graph.hosting_weight)
+      else None)
+  |> List.sort (fun (_, w1) (_, w2) -> Float.compare w2 w1)

@@ -1,0 +1,33 @@
+(** Synthetic Internet topology generator.
+
+    Produces a three-tier AS graph with the structural features the paper's
+    measurements depend on: a small full-mesh Tier-1 core, preferentially
+    attached transit providers (heavy-tailed customer degrees), multihomed
+    stubs, and a handful of large hosting ASes with high [hosting_weight]
+    (the Hetzner/OVH analogues that end up concentrating Tor relays). *)
+
+type params = {
+  n_tier1 : int;           (** size of the Tier-1 clique (e.g. 12) *)
+  n_transit : int;         (** number of transit ASes *)
+  n_stub : int;            (** number of stub ASes *)
+  n_hosting : int;         (** how many ASes get a positive hosting weight *)
+  multihoming_prob : float;(** probability a stub has a second provider *)
+  transit_peering_prob : float; (** probability two same-region transits peer *)
+}
+
+val default_params : params
+(** ~2 400 ASes: 12 Tier-1, 350 transit, 2 000 stubs, 60 hosting ASes. *)
+
+val small_params : params
+(** ~220 ASes, for tests and examples. *)
+
+val generate : rng:Rng.t -> params -> As_graph.t
+(** Generates a connected, valley-free-routable topology. ASNs are assigned
+    densely from 1. The five highest-weight hosting ASes are named after the
+    paper's top relay hosters (Hetzner Online AG, OVH SAS, Abovenet
+    Communications, Fiberring, Online.net).
+
+    @raise Invalid_argument if any count is negative or [n_tier1 < 2]. *)
+
+val hosting_ases : As_graph.t -> (Asn.t * float) list
+(** ASes with positive hosting weight, heaviest first. *)

@@ -1,0 +1,1 @@
+lib/tor/consensus.ml: Addressing Array As_graph Asn Buffer Hashtbl Ipv4 List Printf Relay Rng String Topo_gen

@@ -1,0 +1,1 @@
+lib/tor/consensus.mli: Addressing As_graph Asn Relay Rng

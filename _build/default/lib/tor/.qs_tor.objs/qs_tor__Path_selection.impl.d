@@ -1,0 +1,1 @@
+lib/tor/path_selection.ml: Array Asn Consensus Format Ipv4 List Relay Rng

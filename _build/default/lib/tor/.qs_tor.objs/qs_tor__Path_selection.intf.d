@@ -1,0 +1,1 @@
+lib/tor/path_selection.mli: Asn Consensus Format Ipv4 Relay Rng

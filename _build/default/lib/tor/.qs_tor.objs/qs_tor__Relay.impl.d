@@ -1,0 +1,1 @@
+lib/tor/relay.ml: Asn Format Ipv4 List String

@@ -1,0 +1,1 @@
+lib/tor/relay.mli: Asn Format Ipv4

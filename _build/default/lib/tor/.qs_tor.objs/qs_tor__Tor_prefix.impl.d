@@ -1,0 +1,1 @@
+lib/tor/tor_prefix.ml: Addressing Asn Consensus Hashtbl Int Ipv4 List Prefix Relay

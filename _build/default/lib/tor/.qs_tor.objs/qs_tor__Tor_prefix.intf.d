@@ -1,0 +1,1 @@
+lib/tor/tor_prefix.mli: Addressing Asn Consensus Prefix Relay

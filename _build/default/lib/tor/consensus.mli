@@ -1,0 +1,52 @@
+(** The Tor network consensus: the directory document listing every relay.
+
+    {!generate} builds a synthetic consensus over a given topology that
+    reproduces the marginals of the paper's July-2014 snapshot (§4
+    "Methodology and datasets"): 4586 relays of which 1918 carry the Guard
+    flag, 891 the Exit flag and 442 both; relays concentrated in a handful
+    of hosting ASes (5 ASes ≈ 20% of guard/exit relays, Figure 2 left);
+    heavy-tailed consensus bandwidths. *)
+
+type t = {
+  relays : Relay.t array;
+  valid_after : float;
+}
+
+type gen_params = {
+  n_relays : int;            (** 4586 *)
+  n_guards : int;            (** 1918, including the dual-flagged *)
+  n_exits : int;             (** 891, including the dual-flagged *)
+  n_guard_exits : int;       (** 442 relays flagged Guard+Exit *)
+  eligible_stub_fraction : float;
+      (** share of non-hosting stub ASes that may host relays at all *)
+  stub_weight : float;       (** placement weight of an eligible stub *)
+  bandwidth_alpha : float;   (** Pareto shape of consensus weights *)
+  bandwidth_min : int;       (** KB/s floor *)
+}
+
+val paper_params : gen_params
+val small_params : gen_params
+(** A ~230-relay consensus for tests, same proportions. *)
+
+val generate :
+  rng:Rng.t -> ?params:gen_params -> As_graph.t -> Addressing.t -> t
+(** @raise Invalid_argument if the flag counts are inconsistent
+    (e.g. [n_guard_exits > min n_guards n_exits] or more flags than
+    relays). *)
+
+val guards : t -> Relay.t list
+val exits : t -> Relay.t list
+val guard_or_exit : t -> Relay.t list
+val n_relays : t -> int
+
+val relays_in : t -> Asn.t -> Relay.t list
+
+val total_bandwidth : t -> int
+
+val to_string : t -> string
+(** A consensus-flavoured text serialization ("r <nick> <ip> <asn> <bw>
+    <flags>" lines). *)
+
+val of_string : string -> t
+(** Parses {!to_string} output. @raise Invalid_argument on malformed
+    input. *)

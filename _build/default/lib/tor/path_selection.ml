@@ -1,0 +1,87 @@
+type circuit = {
+  guard : Relay.t;
+  middle : Relay.t;
+  exit : Relay.t;
+}
+
+let pp_circuit ppf c =
+  Format.fprintf ppf "%a -> %a -> %a" Ipv4.pp c.guard.Relay.ip Ipv4.pp
+    c.middle.Relay.ip Ipv4.pp c.exit.Relay.ip
+
+let pick_weighted ~rng relays =
+  match relays with
+  | [] -> invalid_arg "Path_selection.pick_weighted: no relays"
+  | _ ->
+      let arr = Array.of_list relays in
+      let weights = Array.map (fun r -> float_of_int r.Relay.bandwidth) arr in
+      arr.(Rng.weighted_index rng weights)
+
+let slash16 r = Ipv4.to_int r.Relay.ip lsr 16
+
+let conflict a b = Relay.equal a b || slash16 a = slash16 b
+
+let conflict_with_any r chosen = List.exists (conflict r) chosen
+
+let pick_guards ~rng consensus ~n =
+  let pool = Consensus.guards consensus in
+  let rec loop chosen attempts =
+    if List.length chosen = n then List.rev chosen
+    else if attempts > 200 * n then
+      invalid_arg "Path_selection.pick_guards: cannot satisfy diversity constraint"
+    else begin
+      let g = pick_weighted ~rng pool in
+      if conflict_with_any g chosen then loop chosen (attempts + 1)
+      else loop (g :: chosen) (attempts + 1)
+    end
+  in
+  if List.length pool < n then
+    invalid_arg "Path_selection.pick_guards: not enough guards";
+  loop [] 0
+
+let build_circuit ~rng consensus ~guards =
+  match guards with
+  | [] -> invalid_arg "Path_selection.build_circuit: empty guard set"
+  | _ ->
+      let guard = Rng.pick_list rng guards in
+      let exits =
+        Consensus.exits consensus |> List.filter (fun r -> not (conflict r guard))
+      in
+      let exit =
+        match exits with
+        | [] -> invalid_arg "Path_selection.build_circuit: no usable exit"
+        | _ -> pick_weighted ~rng exits
+      in
+      let middles =
+        Array.to_list consensus.Consensus.relays
+        |> List.filter (fun r -> not (conflict r guard) && not (conflict r exit))
+      in
+      let middle =
+        match middles with
+        | [] -> invalid_arg "Path_selection.build_circuit: no usable middle"
+        | _ -> pick_weighted ~rng middles
+      in
+      { guard; middle; exit }
+
+type client = {
+  client_id : int;
+  client_asn : Asn.t;
+  client_ip : Ipv4.t;
+  mutable guard_set : Relay.t list;
+  mutable guards_chosen_at : float;
+}
+
+let make_client ~rng consensus ~id ~asn ~ip ?(n_guards = 3) time =
+  { client_id = id;
+    client_asn = asn;
+    client_ip = ip;
+    guard_set = pick_guards ~rng consensus ~n:n_guards;
+    guards_chosen_at = time }
+
+let rotate_guards_if_due ~rng consensus ~rotation_period ~now client =
+  if now -. client.guards_chosen_at >= rotation_period then begin
+    client.guard_set <-
+      pick_guards ~rng consensus ~n:(List.length client.guard_set);
+    client.guards_chosen_at <- now;
+    true
+  end
+  else false

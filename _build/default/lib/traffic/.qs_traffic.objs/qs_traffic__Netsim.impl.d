@@ -1,0 +1,1 @@
+lib/traffic/netsim.ml: Array Float Format Hashtbl Ipv4 Pqueue Printf Rng

@@ -1,0 +1,1 @@
+lib/traffic/netsim.mli: Format Ipv4 Rng

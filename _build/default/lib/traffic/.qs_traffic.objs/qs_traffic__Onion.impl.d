@@ -1,0 +1,1 @@
+lib/traffic/onion.ml: Float Ipv4 Netsim Rng Tcp Trace

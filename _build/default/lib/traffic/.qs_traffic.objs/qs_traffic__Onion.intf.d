@@ -1,0 +1,1 @@
+lib/traffic/onion.mli: Rng Tcp Trace

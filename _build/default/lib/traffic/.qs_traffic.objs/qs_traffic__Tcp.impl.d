@@ -1,0 +1,1 @@
+lib/traffic/tcp.ml: Float Hashtbl Ipv4 Netsim

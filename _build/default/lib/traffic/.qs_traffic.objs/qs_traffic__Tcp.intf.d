@@ -1,0 +1,1 @@
+lib/traffic/tcp.mli: Ipv4 Netsim

@@ -1,0 +1,58 @@
+(** Discrete-event packet-network simulator.
+
+    Hosts are nodes; links are point-to-point with latency, jitter and
+    loss. Each directed link can carry a {e tap} — a tcpdump-like observer
+    that sees every packet (with its timestamp) crossing the link in that
+    direction. Taps are how the paper's four observation points
+    (client⇄guard, exit⇄server) are realised. *)
+
+type node = int
+
+type packet = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  sport : int;
+  dport : int;
+  seq : int;       (** first byte's sequence number *)
+  ack : int;       (** cumulative acknowledgement *)
+  payload : int;   (** payload length in bytes; 0 = pure ACK *)
+  wnd : int;       (** advertised receive window (flow control) *)
+  syn : bool;
+  fin : bool;
+}
+
+val pp_packet : Format.formatter -> packet -> unit
+
+type t
+
+val create : rng:Rng.t -> unit -> t
+val now : t -> float
+
+val add_node : t -> node
+(** Nodes start with no handler; see {!set_handler}. *)
+
+val set_handler : t -> node -> (t -> packet -> unit) -> unit
+(** Called on every packet delivered to the node. *)
+
+val link :
+  t -> node -> node -> latency:float -> ?jitter:float -> ?loss:float -> unit -> unit
+(** Creates a bidirectional link. [latency] is one-way seconds; [jitter]
+    adds uniform extra delay in [\[0, jitter\]]; [loss] drops each packet
+    independently with that probability (in-order delivery is preserved
+    among survivors). @raise Invalid_argument if the link exists or the
+    nodes are equal. *)
+
+val set_tap : t -> from:node -> to_:node -> (float -> packet -> unit) -> unit
+(** Installs the observer for the directed link [from → to_]. The tap sees
+    packets when they {e enter} the link (before loss), like a tcpdump at
+    the sender's edge. @raise Invalid_argument if no such link. *)
+
+val send : t -> from:node -> to_:node -> packet -> unit
+(** Transmits over the link; @raise Invalid_argument if no such link. *)
+
+val schedule : t -> float -> (t -> unit) -> unit
+(** [schedule t delay f] runs [f] after [delay] seconds of simulated time. *)
+
+val run : ?until:float -> t -> unit
+(** Processes events until the queue empties or simulated time exceeds
+    [until]. *)

@@ -1,0 +1,56 @@
+(** The paper's wide-area experiment (§4, Figure 2 right), in simulation.
+
+    Builds a 3-hop Tor circuit — client, guard, middle, exit — plus a web
+    server, as five {!Netsim} nodes chained by four TCP connections (Tor
+    runs a separate TCP connection per hop). Relays are store-and-forward:
+    bytes delivered on one hop are immediately queued on the next. The
+    exit repackages raw server bytes into 514-byte Tor cells carrying 498
+    payload bytes (and unpacks in the upload direction), so segment byte
+    counts differ by the cell overhead, exactly as on the real network.
+
+    Taps on the client⇄guard and exit⇄server links record the four traces
+    the paper plots: data from guard to client, ACKs from client to guard,
+    data from server to exit, ACKs from exit to server. *)
+
+type link_profile = {
+  latency : float;  (** one-way seconds *)
+  jitter : float;
+  loss : float;
+}
+
+type profile = {
+  client_guard : link_profile;
+  guard_middle : link_profile;
+  middle_exit : link_profile;
+  exit_server : link_profile;
+  tcp : Tcp.options;
+}
+
+val default_profile : profile
+(** Wide-area latencies (tens of ms per hop), light jitter, 0.2% loss. *)
+
+type result = {
+  guard_to_client : Trace.t;
+  client_to_guard : Trace.t;
+  server_to_exit : Trace.t;
+  exit_to_server : Trace.t;
+  completed : bool;       (** the whole payload arrived *)
+  finish_time : float;    (** simulated seconds when the last byte landed *)
+  client_received : int;  (** bytes delivered on the client's connection *)
+}
+
+val download :
+  rng:Rng.t -> ?profile:profile -> ?until:float -> ?start_delay:float ->
+  ?burst:int * float -> size:int -> unit -> result
+(** The client fetches [size] bytes from the server through the circuit
+    (the paper's large-file wget). [until] caps simulated time (default
+    600 s); [start_delay] postpones the request; [burst = (mean_bytes,
+    mean_gap_s)] makes the server emit the payload in bursts, giving the
+    flow a distinctive timing signature.
+    @raise Invalid_argument if [size <= 0]. *)
+
+val upload : rng:Rng.t -> ?profile:profile -> ?until:float -> size:int -> unit -> result
+(** The client pushes [size] bytes to the server (the paper's
+    file-upload-to-WikiLeaks scenario). Trace fields keep their names: in
+    an upload, [client_to_guard] carries data and [guard_to_client] the
+    ACKs. *)

@@ -1,0 +1,71 @@
+type obs = {
+  time : float;
+  seq : int;
+  ack : int;
+  payload : int;
+}
+
+type t = { mutable observations : obs list (* newest first *) }
+
+let create () = { observations = [] }
+
+let tap t time (p : Netsim.packet) =
+  t.observations <-
+    { time; seq = p.Netsim.seq; ack = p.Netsim.ack; payload = p.Netsim.payload }
+    :: t.observations
+
+let observations t = List.rev t.observations
+
+let length t = List.length t.observations
+
+let total_payload t =
+  List.fold_left (fun acc o -> acc + o.payload) 0 t.observations
+
+let max_ack t = List.fold_left (fun acc o -> max acc o.ack) 0 t.observations
+
+let n_bins ~bin ~duration =
+  if bin <= 0. || duration <= 0. then
+    invalid_arg "Trace: bin and duration must be positive";
+  int_of_float (Float.ceil (duration /. bin))
+
+let bin_index ~bin ~n time =
+  let i = int_of_float (time /. bin) in
+  if i < 0 then 0 else if i >= n then n - 1 else i
+
+let bytes_sent_series t ~bin ~duration =
+  let n = n_bins ~bin ~duration in
+  let series = Array.make n 0. in
+  List.iter
+    (fun o ->
+       if o.time <= duration then begin
+         let i = bin_index ~bin ~n o.time in
+         series.(i) <- series.(i) +. float_of_int o.payload
+       end)
+    t.observations;
+  series
+
+let bytes_acked_series t ~bin ~duration =
+  let n = n_bins ~bin ~duration in
+  let series = Array.make n 0. in
+  (* Walk observations oldest-first, tracking the running max ACK; credit
+     each bin with the advance it saw. *)
+  let high = ref 0 in
+  List.iter
+    (fun o ->
+       if o.time <= duration && o.ack > !high then begin
+         let i = bin_index ~bin ~n o.time in
+         series.(i) <- series.(i) +. float_of_int (o.ack - !high);
+         high := o.ack
+       end)
+    (observations t);
+  series
+
+let cumulative series =
+  let out = Array.make (Array.length series) 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i v ->
+       acc := !acc +. v;
+       out.(i) <- !acc)
+    series;
+  out

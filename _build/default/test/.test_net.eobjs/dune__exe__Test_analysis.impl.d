@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Anonymity Array Ccdf Correlation Float Ipv4 List Netsim QCheck QCheck_alcotest Rng Stats Trace

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Announcement As_graph Asn Community_attack Detection Hijack Interception List Prefix Propagate Route Update

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Float Hashtbl Int Int64 Ipv4 List Option Pqueue Prefix Prefix_trie Printf QCheck QCheck_alcotest Rng

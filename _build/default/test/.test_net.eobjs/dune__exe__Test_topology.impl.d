@@ -1,0 +1,1 @@
+test/test_topology.ml: Addressing Alcotest Array As_graph Asn List Paths Prefix QCheck QCheck_alcotest Relationship Rng Topo_gen

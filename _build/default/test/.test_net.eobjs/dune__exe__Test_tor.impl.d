@@ -1,0 +1,1 @@
+test/test_tor.ml: Addressing Alcotest Array Asn Consensus Float Ipv4 List Path_selection Prefix QCheck QCheck_alcotest Relay Rng Topo_gen Tor_prefix

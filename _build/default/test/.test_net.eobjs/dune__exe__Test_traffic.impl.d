@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Float Ipv4 List Netsim Onion QCheck QCheck_alcotest Rng Tcp Trace

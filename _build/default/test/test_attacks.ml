@@ -1,0 +1,290 @@
+(* Tests for qs_attacks: hijacks, interception, community-scoped attacks
+   and control-plane detection. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let asn = Asn.of_int
+let pfx = Prefix.of_string
+
+let stub_info name =
+  { As_graph.name; tier = As_graph.Stub; hosting_weight = 0. }
+
+(* A chain with two stub leaves at opposite ends:
+
+        1 ---- 2          (1, 2 tier-like, peers)
+        |      |
+        3      4          (customers)
+        |      |
+        5      6          (victim 5, attacker 6)               *)
+let chain () =
+  let g = As_graph.create () in
+  List.iter (fun i -> As_graph.add_as g (asn i) (stub_info "")) [ 1; 2; 3; 4; 5; 6 ];
+  As_graph.add_peering g (asn 1) (asn 2);
+  As_graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 3);
+  As_graph.add_provider_customer g ~provider:(asn 2) ~customer:(asn 4);
+  As_graph.add_provider_customer g ~provider:(asn 3) ~customer:(asn 5);
+  As_graph.add_provider_customer g ~provider:(asn 4) ~customer:(asn 6);
+  As_graph.Indexed.of_graph g
+
+let victim_prefix = pfx "78.46.0.0/15"
+let victim = Announcement.originate (asn 5) victim_prefix
+
+(* ---- Hijack ---------------------------------------------------------- *)
+
+let test_hijack_same_prefix () =
+  let h = Hijack.same_prefix (chain ()) ~victim ~attacker:(asn 6) () in
+  (* The attacker's side of the chain (6, 4, and 2 via its customer) is
+     captured; the victim's side stays clean. *)
+  check_bool "attacker captured" true (Hijack.is_captured h (asn 6));
+  check_bool "attacker's provider captured" true (Hijack.is_captured h (asn 4));
+  check_bool "2 prefers its customer cone" true (Hijack.is_captured h (asn 2));
+  check_bool "victim not captured" false (Hijack.is_captured h (asn 5));
+  check_bool "victim's provider not captured" false (Hijack.is_captured h (asn 3));
+  check_bool "1 sticks with customer route" false (Hijack.is_captured h (asn 1));
+  check_bool "capture fraction in (0,1)" true
+    (h.Hijack.capture_fraction > 0. && h.Hijack.capture_fraction < 1.)
+
+let test_hijack_rejects_self () =
+  Alcotest.check_raises "attacker = victim"
+    (Invalid_argument "Hijack.same_prefix: attacker is the victim")
+    (fun () -> ignore (Hijack.same_prefix (chain ()) ~victim ~attacker:(asn 5) ()))
+
+let test_hijack_more_specific () =
+  let sub = pfx "78.46.16.0/20" in
+  let h = Hijack.more_specific (chain ()) ~victim ~attacker:(asn 6) ~sub () in
+  (* Longest-prefix match: even the victim's own provider is captured. *)
+  check_bool "victim's provider captured by /20" true (Hijack.is_captured h (asn 3));
+  check_bool "far side captured" true (Hijack.is_captured h (asn 1))
+
+let test_hijack_more_specific_rejects () =
+  check_bool "outside prefix rejected" true
+    (try
+       ignore
+         (Hijack.more_specific (chain ()) ~victim ~attacker:(asn 6)
+            ~sub:(pfx "10.0.0.0/24") ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "equal prefix rejected" true
+    (try
+       ignore
+         (Hijack.more_specific (chain ()) ~victim ~attacker:(asn 6)
+            ~sub:victim_prefix ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_hijack_anonymity_set () =
+  let h = Hijack.same_prefix (chain ()) ~victim ~attacker:(asn 6) () in
+  let clients = [ (asn 6, "near-attacker"); (asn 3, "near-victim") ] in
+  match Hijack.anonymity_set h ~clients with
+  | [ ("near-attacker", a) ] -> check_int "captured client AS" 6 (Asn.to_int a)
+  | _ -> Alcotest.fail "expected exactly the near-attacker client"
+
+(* ---- Interception ---------------------------------------------------- *)
+
+(* Interception needs a clean uplink: multihome the attacker to 3, whose
+   customer route to the real victim (length 2) beats the bogus one. *)
+let chain_multihomed () =
+  let g = As_graph.create () in
+  List.iter (fun i -> As_graph.add_as g (asn i) (stub_info "")) [ 1; 2; 3; 4; 5; 6 ];
+  As_graph.add_peering g (asn 1) (asn 2);
+  As_graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 3);
+  As_graph.add_provider_customer g ~provider:(asn 2) ~customer:(asn 4);
+  As_graph.add_provider_customer g ~provider:(asn 3) ~customer:(asn 5);
+  As_graph.add_provider_customer g ~provider:(asn 4) ~customer:(asn 6);
+  As_graph.add_provider_customer g ~provider:(asn 3) ~customer:(asn 6);
+  As_graph.Indexed.of_graph g
+
+let test_interception_feasible () =
+  let i = Interception.run (chain_multihomed ()) ~victim ~attacker:(asn 6) () in
+  check_bool "captures someone" true (i.Interception.captured <> []);
+  check_bool "feasible" true i.Interception.feasible;
+  (match i.Interception.return_path with
+   | Some (first :: _ as walk) ->
+       check_int "return path starts at attacker" 6 (Asn.to_int first);
+       let last = List.nth walk (List.length walk - 1) in
+       check_int "return path ends at victim" 5 (Asn.to_int last);
+       check_bool "no attacker loop in tail" true
+         (not (List.exists (Asn.equal (asn 6)) (List.tl walk)))
+   | Some [] | None -> Alcotest.fail "expected a return path")
+
+let test_interception_loop_detection_shields_victim () =
+  let i = Interception.run (chain ()) ~victim ~attacker:(asn 6) () in
+  check_bool "victim never selects the bogus route" true
+    (not (List.exists (Asn.equal (asn 5)) i.Interception.captured));
+  check_bool "observes includes attacker" true (Interception.observes i (asn 6))
+
+let test_interception_rejects_self () =
+  Alcotest.check_raises "attacker = victim"
+    (Invalid_argument "Interception.run: attacker is the victim")
+    (fun () -> ignore (Interception.run (chain ()) ~victim ~attacker:(asn 5) ()))
+
+let test_interception_infeasible_when_isolated () =
+  (* In the plain chain the attacker's only uplink (4) always prefers the
+     bogus customer route, so there is no clean return path and the
+     "interception" degrades into a hijack. *)
+  let i = Interception.run (chain ()) ~victim ~attacker:(asn 6) () in
+  check_bool "no clean return path" false i.Interception.feasible;
+  check_bool "still captures its cone" true (i.Interception.captured <> [])
+
+(* ---- Community attack ------------------------------------------------ *)
+
+let test_community_radius_tradeoff () =
+  let monitors = [ asn 1; asn 3 ] in
+  let sweep =
+    Community_attack.sweep_radius (chain ()) ~victim ~attacker:(asn 6)
+      ~monitors [ 1; 2; 4 ]
+  in
+  let captures =
+    List.map (fun (_, t) -> List.length t.Community_attack.visible_at) sweep
+  in
+  (* capture is monotone in the radius *)
+  check_bool "monotone capture" true
+    (match captures with
+     | [ a; b; c ] -> a <= b && b <= c
+     | _ -> false);
+  (* tighter scope, fewer monitors see it *)
+  let seen = List.map (fun (_, t) -> t.Community_attack.seen_by_monitors) sweep in
+  check_bool "monotone visibility" true
+    (match seen with
+     | [ a; b; c ] -> a <= b && b <= c
+     | _ -> false)
+
+let test_community_detection_probability () =
+  let t =
+    Community_attack.run (chain ()) ~victim ~attacker:(asn 6) ~radius:1
+      ~monitors:[ asn 1; asn 2; asn 3; asn 4 ] ()
+  in
+  let p = Community_attack.detection_probability t in
+  check_bool "probability in [0,1]" true (p >= 0. && p <= 1.)
+
+(* ---- Detection ------------------------------------------------------- *)
+
+let session = { Update.collector = "rrc00"; peer = asn 99 }
+
+let announce time p path =
+  { Update.time; session;
+    kind = Update.Announce (Route.make p (List.map asn path)) }
+
+let test_detection_moas () =
+  let d = Detection.create ~learning_period:100. () in
+  (* learn the legitimate origin *)
+  check_int "learning quiet" 0
+    (List.length (Detection.observe d (announce 10. victim_prefix [ 99; 3; 5 ])));
+  (* same origin after learning: fine *)
+  check_int "known origin quiet" 0
+    (List.length (Detection.observe d (announce 200. victim_prefix [ 99; 3; 5 ])));
+  (* new origin: MOAS alarm *)
+  let alarms = Detection.observe d (announce 300. victim_prefix [ 99; 4; 6 ]) in
+  check_int "one alarm" 1 (List.length alarms);
+  (match alarms with
+   | [ { Detection.kind = Detection.Moas { new_origin; _ }; _ } ] ->
+       check_int "flags the hijacker" 6 (Asn.to_int new_origin)
+   | _ -> Alcotest.fail "expected a MOAS alarm");
+  check_bool "prefix now suspicious" true (Detection.suspicious d victim_prefix)
+
+let test_detection_moas_cooldown () =
+  let d = Detection.create ~learning_period:100. () in
+  ignore (Detection.observe d (announce 10. victim_prefix [ 99; 3; 5 ]));
+  let a1 = Detection.observe d (announce 200. victim_prefix [ 99; 4; 6 ]) in
+  (* The hijacked origin was learned after alarming once; a different new
+     origin within the cooldown stays quiet. *)
+  let a2 = Detection.observe d (announce 210. victim_prefix [ 99; 2; 7 ]) in
+  check_int "first alarm" 1 (List.length a1);
+  check_int "cooldown suppresses repeats" 0 (List.length a2)
+
+let test_detection_subprefix () =
+  let d = Detection.create ~learning_period:100. () in
+  ignore (Detection.observe d (announce 10. victim_prefix [ 99; 3; 5 ]));
+  let alarms = Detection.observe d (announce 300. (pfx "78.46.16.0/20") [ 99; 4; 6 ]) in
+  check_bool "sub-prefix alarm raised" true
+    (List.exists
+       (fun a ->
+          match a.Detection.kind with
+          | Detection.Sub_prefix { sub_origin; _ } -> Asn.to_int sub_origin = 6
+          | _ -> false)
+       alarms)
+
+let test_detection_adjacency () =
+  let d = Detection.create ~learning_period:100. () in
+  ignore (Detection.observe d (announce 10. victim_prefix [ 99; 3; 5 ]));
+  (* same origin, but reached through a never-seen neighbor: the
+     interception signature *)
+  let alarms = Detection.observe d (announce 300. victim_prefix [ 99; 4; 6; 5 ]) in
+  check_bool "adjacency alarm raised" true
+    (List.exists
+       (fun a ->
+          match a.Detection.kind with
+          | Detection.Origin_adjacency { new_neighbor; _ } -> Asn.to_int new_neighbor = 6
+          | _ -> false)
+       alarms)
+
+let test_detection_learning_period_quiet () =
+  let d = Detection.create ~learning_period:1000. () in
+  ignore (Detection.observe d (announce 10. victim_prefix [ 99; 3; 5 ]));
+  let alarms = Detection.observe d (announce 20. victim_prefix [ 99; 4; 6 ]) in
+  check_int "no alarms while learning" 0 (List.length alarms)
+
+let test_detection_withdraw_ignored () =
+  let d = Detection.create ~learning_period:0. () in
+  let w = { Update.time = 10.; session; kind = Update.Withdraw victim_prefix } in
+  check_int "withdraw raises nothing" 0 (List.length (Detection.observe d w))
+
+let test_detection_end_to_end_hijack () =
+  (* Run a real hijack through Propagate and make sure the resulting
+     routes, observed at a collector peer, trip the monitor. *)
+  let ix = chain () in
+  let d = Detection.create ~learning_period:100. () in
+  let before = Propagate.compute ix [ victim ] in
+  (match Propagate.route_at before (asn 1) with
+   | Some r ->
+       ignore (Detection.observe d
+                 { Update.time = 10.; session; kind = Update.Announce r })
+   | None -> Alcotest.fail "no baseline route");
+  let h = Hijack.same_prefix ix ~victim ~attacker:(asn 6) () in
+  (* AS 2 is captured; its exported route shows origin 6. *)
+  (match Propagate.route_at h.Hijack.outcome (asn 2) with
+   | Some r ->
+       let alarms =
+         Detection.observe d
+           { Update.time = 500.; session; kind = Update.Announce r }
+       in
+       check_bool "hijacked route trips MOAS" true
+         (List.exists
+            (fun a -> match a.Detection.kind with
+               | Detection.Moas _ -> true
+               | _ -> false)
+            alarms)
+   | None -> Alcotest.fail "expected hijacked route at 2")
+
+let () =
+  Alcotest.run "qs_attacks"
+    [ ("hijack",
+       [ Alcotest.test_case "same prefix" `Quick test_hijack_same_prefix;
+         Alcotest.test_case "rejects self-hijack" `Quick test_hijack_rejects_self;
+         Alcotest.test_case "more specific" `Quick test_hijack_more_specific;
+         Alcotest.test_case "more specific validation" `Quick
+           test_hijack_more_specific_rejects;
+         Alcotest.test_case "anonymity set" `Quick test_hijack_anonymity_set ]);
+      ("interception",
+       [ Alcotest.test_case "feasible with return path" `Quick
+           test_interception_feasible;
+         Alcotest.test_case "victim shielded by loop detection" `Quick
+           test_interception_loop_detection_shields_victim;
+         Alcotest.test_case "rejects self" `Quick test_interception_rejects_self;
+         Alcotest.test_case "infeasible when isolated" `Quick
+           test_interception_infeasible_when_isolated ]);
+      ("community",
+       [ Alcotest.test_case "radius trade-off" `Quick test_community_radius_tradeoff;
+         Alcotest.test_case "detection probability" `Quick
+           test_community_detection_probability ]);
+      ("detection",
+       [ Alcotest.test_case "MOAS" `Quick test_detection_moas;
+         Alcotest.test_case "MOAS cooldown" `Quick test_detection_moas_cooldown;
+         Alcotest.test_case "sub-prefix" `Quick test_detection_subprefix;
+         Alcotest.test_case "origin adjacency" `Quick test_detection_adjacency;
+         Alcotest.test_case "learning period quiet" `Quick
+           test_detection_learning_period_quiet;
+         Alcotest.test_case "withdraw ignored" `Quick test_detection_withdraw_ignored;
+         Alcotest.test_case "end-to-end hijack detection" `Quick
+           test_detection_end_to_end_hijack ]) ]

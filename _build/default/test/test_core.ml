@@ -1,0 +1,418 @@
+(* Tests for qs_core: scenario construction, the measurement pipeline and
+   every experiment module. These use the Small scale and short dynamics so
+   the suite stays fast. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let scenario = lazy (Scenario.build ~seed:5 Scenario.Small)
+
+let tiny_dynamics =
+  { Dynamics.short_config with
+    Dynamics.duration = 12. *. 3600.;
+    base_churn_rate = 0.3 }
+
+let measurement = lazy (Measurement.run ~dynamics:tiny_dynamics (Lazy.force scenario))
+
+(* ---- Scenario --------------------------------------------------------- *)
+
+let test_scenario_deterministic () =
+  let a = Scenario.build ~seed:11 Scenario.Small in
+  let b = Scenario.build ~seed:11 Scenario.Small in
+  Alcotest.(check string) "same consensus"
+    (Consensus.to_string a.Scenario.consensus)
+    (Consensus.to_string b.Scenario.consensus);
+  Alcotest.(check string) "same topology"
+    (As_graph.to_caida_string a.Scenario.graph)
+    (As_graph.to_caida_string b.Scenario.graph)
+
+let test_scenario_seed_matters () =
+  let a = Scenario.build ~seed:11 Scenario.Small in
+  let b = Scenario.build ~seed:12 Scenario.Small in
+  check_bool "different seeds differ" true
+    (Consensus.to_string a.Scenario.consensus
+     <> Consensus.to_string b.Scenario.consensus)
+
+let test_scenario_guard_announcement () =
+  let s = Lazy.force scenario in
+  List.iter
+    (fun g ->
+       match Scenario.guard_announcement s g with
+       | Some ann ->
+           check_bool "prefix covers the relay" true
+             (Prefix.mem g.Relay.ip ann.Announcement.prefix)
+       | None -> Alcotest.fail "guard without announcement")
+    (Consensus.guards s.Scenario.consensus)
+
+let test_scenario_client_as () =
+  let s = Lazy.force scenario in
+  let rng = Rng.of_int 1 in
+  for _ = 1 to 20 do
+    let a = Scenario.random_client_as ~rng s in
+    check_bool "client AS hosts no relay" true
+      (Consensus.relays_in s.Scenario.consensus a = []);
+    check_bool "client AS is a stub" true
+      ((As_graph.info s.Scenario.graph a).As_graph.tier = As_graph.Stub)
+  done
+
+let test_scenario_rng_for_stable () =
+  let s = Lazy.force scenario in
+  let a = Rng.int64 (Scenario.rng_for s "x") in
+  let b = Rng.int64 (Scenario.rng_for s "x") in
+  let c = Rng.int64 (Scenario.rng_for s "y") in
+  check_bool "same name same stream" true (Int64.equal a b);
+  check_bool "different name different stream" true (not (Int64.equal a c))
+
+(* ---- Measurement ------------------------------------------------------ *)
+
+let test_measurement_cells_consistent () =
+  let m = Lazy.force measurement in
+  check_bool "has cells" true (m.Measurement.cells <> []);
+  List.iter
+    (fun (c : Measurement.cell) ->
+       check_bool "updates >= changes" true
+         (c.Measurement.updates >= c.Measurement.path_changes);
+       List.iter
+         (fun (_, d) ->
+            check_bool "residency within duration" true
+              (d >= 0. && d <= m.Measurement.duration +. 1e-6))
+         c.Measurement.residency)
+    m.Measurement.cells
+
+let test_measurement_baseline_residency () =
+  (* a cell with a baseline and no updates must have full-duration
+     residency on its baseline ASes *)
+  let m = Lazy.force measurement in
+  let quiet =
+    List.find_opt
+      (fun (c : Measurement.cell) ->
+         c.Measurement.baseline <> None && c.Measurement.updates = 0)
+      m.Measurement.cells
+  in
+  match quiet with
+  | None -> ()  (* churny run; fine *)
+  | Some c ->
+      let base = Option.value ~default:Asn.Set.empty c.Measurement.baseline in
+      Asn.Set.iter
+        (fun a ->
+           match List.assoc_opt a c.Measurement.residency with
+           | Some d ->
+               check_bool "full residency" true
+                 (Float.abs (d -. m.Measurement.duration) < 1.0)
+           | None -> Alcotest.fail "baseline AS missing residency")
+        base
+
+let test_measurement_extra_ases_threshold () =
+  let m = Lazy.force measurement in
+  List.iter
+    (fun (c : Measurement.cell) ->
+       let strict = Measurement.extra_ases ~threshold:3600. c in
+       let loose = Measurement.extra_ases ~threshold:60. c in
+       check_bool "higher threshold, fewer extras" true
+         (Asn.Set.subset strict loose))
+    m.Measurement.cells
+
+let test_measurement_visibility_bounds () =
+  let m = Lazy.force measurement in
+  let s = Lazy.force scenario in
+  Tor_prefix.entries s.Scenario.tor_prefixes
+  |> List.iter (fun e ->
+      let v = Measurement.visibility_fraction m e.Tor_prefix.prefix in
+      check_bool "visibility in [0,1]" true (v >= 0. && v <= 1.))
+
+let test_measurement_extra_updates_merged () =
+  let s = Lazy.force scenario in
+  let session =
+    match Scenario.sessions s with
+    | sess :: _ -> sess.Collector.id
+    | [] -> Alcotest.fail "no sessions"
+  in
+  let p = Prefix.of_string "203.0.113.0/24" in
+  let extra =
+    [ { Update.time = 1000.;
+        session;
+        kind = Update.Announce (Route.make p [ session.Update.peer; Asn.of_int 65000 ]) } ]
+  in
+  let seen = ref false in
+  let m =
+    Measurement.run ~dynamics:tiny_dynamics ~extra_updates:extra
+      ~observe:(fun u -> if Prefix.equal (Update.prefix u) p then seen := true)
+      s
+  in
+  check_bool "injected update observed" true !seen;
+  check_bool "injected prefix has a cell" true
+    (List.exists
+       (fun (c : Measurement.cell) ->
+          Prefix.equal c.Measurement.key.Measurement.prefix p)
+       m.Measurement.cells)
+
+(* ---- Experiments ------------------------------------------------------ *)
+
+let test_dataset () =
+  let m = Lazy.force measurement in
+  let d = Dataset.compute m in
+  let p = Consensus.small_params in
+  check_int "relays" p.Consensus.n_relays d.Dataset.n_relays;
+  check_int "guards" p.Consensus.n_guards d.Dataset.n_guards;
+  check_int "exits" p.Consensus.n_exits d.Dataset.n_exits;
+  check_bool "visibility sane" true
+    (d.Dataset.mean_visibility > 0. && d.Dataset.mean_visibility <= 1.);
+  check_bool "prefixes counted" true (d.Dataset.n_tor_prefixes > 0)
+
+let test_concentration () =
+  let s = Lazy.force scenario in
+  let c = Concentration.compute s in
+  check_bool "curve ends at 100%" true
+    (match List.rev c.Concentration.curve with
+     | (_, pct) :: _ -> Float.abs (pct -. 100.) < 1e-6
+     | [] -> false);
+  check_bool "curve monotone" true
+    (let rec mono = function
+       | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-9 && mono rest
+       | _ -> true
+     in
+     mono c.Concentration.curve);
+  check_bool "top5 between share(1) and 1" true
+    (c.Concentration.top5_share >= Concentration.share_at c 1
+     && c.Concentration.top5_share <= 1.);
+  check_bool "hosting ASes dominate" true (c.Concentration.top5_share > 0.2)
+
+let test_path_changes () =
+  let m = Lazy.force measurement in
+  let pc = Path_changes.compute m in
+  check_bool "has ratios" true (pc.Path_changes.ratios <> []);
+  check_bool "fractions in range" true
+    (pc.Path_changes.frac_above_one >= 0. && pc.Path_changes.frac_above_one <= 1.
+     && pc.Path_changes.frac_tor_beating_median_somewhere <= 1.);
+  check_bool "tor prefixes churn more than median" true
+    (pc.Path_changes.frac_above_one > 0.2)
+
+let test_as_exposure () =
+  let m = Lazy.force measurement in
+  let e5 = As_exposure.compute m in
+  let e0 = As_exposure.compute ~threshold:0. m in
+  check_bool "thresholding reduces exposure" true
+    (e0.As_exposure.frac_at_least_2 >= e5.As_exposure.frac_at_least_2);
+  check_bool "max >= 0" true (e5.As_exposure.max_extras >= 0);
+  List.iter
+    (fun e -> check_bool "non-negative" true (e >= 0))
+    e5.As_exposure.extras
+
+let test_compromise () =
+  let rng = Rng.of_int 9 in
+  let c = Compromise.compute ~rng ~trials:3000 () in
+  check_bool "monte carlo close to analytic" true (c.Compromise.max_abs_error < 0.05);
+  List.iter
+    (fun r ->
+       check_bool "l=3 amplifies" true
+         (r.Compromise.analytic_l3 >= r.Compromise.analytic_l1))
+    c.Compromise.rows
+
+let test_asymmetric_run () =
+  let rng = Rng.of_int 21 in
+  let r = Asymmetric.run ~rng ~size:(3 * 1024 * 1024) () in
+  check_bool "completed" true r.Asymmetric.completed;
+  check_bool "asymmetric correlation strong" true (r.Asymmetric.asymmetric_r > 0.5);
+  check_bool "ack-ack correlation strong" true (r.Asymmetric.ack_ack_r > 0.5);
+  check_int "four curves" 4 (List.length r.Asymmetric.curves)
+
+let test_asymmetric_matching () =
+  let rng = Rng.of_int 22 in
+  let m = Asymmetric.deanonymize ~rng ~n_flows:4 ~size:(2 * 1024 * 1024) () in
+  check_bool "beats chance" true
+    (m.Asymmetric.accuracy > 1.5 /. float_of_int m.Asymmetric.n_flows)
+
+let test_hijack_experiment () =
+  let s = Lazy.force scenario in
+  let rng = Rng.of_int 31 in
+  let h = Deanonymization.hijack ~rng ~n_trials:8 ~n_clients:20 s in
+  check_bool "trials ran" true (h.Deanonymization.trials <> []);
+  check_bool "capture fraction sane" true
+    (h.Deanonymization.mean_capture > 0. && h.Deanonymization.mean_capture < 1.);
+  List.iter
+    (fun t ->
+       check_bool "set bounded by clients" true
+         (t.Deanonymization.anonymity_set_size <= t.Deanonymization.n_clients))
+    h.Deanonymization.trials
+
+let test_interception_experiment () =
+  let s = Lazy.force scenario in
+  let rng = Rng.of_int 32 in
+  let i = Deanonymization.interception ~rng ~n_trials:8 ~timing_accuracy:1.0 s in
+  check_bool "rates in range" true
+    (i.Deanonymization.feasibility_rate >= 0.
+     && i.Deanonymization.feasibility_rate <= 1.
+     && i.Deanonymization.deanonymization_rate
+        <= i.Deanonymization.i_target_capture_rate +. 1e-9)
+
+let test_countermeasure_selection () =
+  let s = Lazy.force scenario in
+  let rng = Rng.of_int 33 in
+  let evals = Countermeasures.selection ~rng ~n_trials:12 s in
+  check_int "three policies" 3 (List.length evals);
+  let find p =
+    List.find (fun e -> e.Countermeasures.policy = p) evals
+  in
+  let default = find Countermeasures.Default in
+  let aware = find Countermeasures.As_aware in
+  check_bool "AS-aware not worse than default" true
+    (aware.Countermeasures.common_as_rate
+     <= default.Countermeasures.common_as_rate +. 1e-9);
+  check_bool "model compromise ordered too" true
+    (aware.Countermeasures.model_compromise
+     <= default.Countermeasures.model_compromise +. 1e-9)
+
+let test_countermeasure_monitoring () =
+  let s = Lazy.force scenario in
+  let rng = Rng.of_int 34 in
+  let m = Countermeasures.monitoring ~rng ~n_attacks:4 s in
+  check_int "attacks injected" 4 m.Countermeasures.n_attacks;
+  check_bool "some detection" true (m.Countermeasures.recall > 0.);
+  check_bool "precision in range" true
+    (m.Countermeasures.precision >= 0. && m.Countermeasures.precision <= 1.)
+
+(* ---- Extensions -------------------------------------------------------- *)
+
+let test_bgp_security_sweep () =
+  let s = Lazy.force scenario in
+  let rng = Rng.of_int 41 in
+  let x = Bgp_security.sweep ~rng ~n_trials:6 s in
+  check_int "five points" 5 (List.length x.Bgp_security.points);
+  let first = List.hd x.Bgp_security.points in
+  let last = List.nth x.Bgp_security.points 4 in
+  check_bool "deployment ascending" true
+    (first.Bgp_security.deployment < last.Bgp_security.deployment);
+  check_bool "full ROV kills origin hijack" true
+    (last.Bgp_security.hijack_capture < 0.1
+     && last.Bgp_security.hijack_capture < first.Bgp_security.hijack_capture);
+  check_bool "interception unaffected by ROV" true
+    (Float.abs
+       (last.Bgp_security.interception_capture
+        -. first.Bgp_security.interception_capture)
+     < 1e-9);
+  List.iter
+    (fun p ->
+       check_bool "fractions in range" true
+         (p.Bgp_security.hijack_capture >= 0. && p.Bgp_security.hijack_capture <= 1.
+          && p.Bgp_security.subprefix_capture <= 1.
+          && p.Bgp_security.interception_feasible <= 1.))
+    x.Bgp_security.points
+
+let test_route_asymmetry () =
+  let s = Lazy.force scenario in
+  let rng = Rng.of_int 42 in
+  let x = Route_asymmetry.compute ~rng ~n_pairs:25 s in
+  check_bool "pairs computed" true (x.Route_asymmetry.pairs <> []);
+  check_bool "union at least forward" true
+    (x.Route_asymmetry.mean_union >= x.Route_asymmetry.mean_forward -. 1e-9);
+  check_bool "compromise union >= forward" true
+    (x.Route_asymmetry.compromise_union
+     >= x.Route_asymmetry.compromise_forward -. 1e-9);
+  List.iter
+    (fun p ->
+       check_bool "forward contains client and guard-origin walk" true
+         (Asn.Set.mem p.Route_asymmetry.client p.Route_asymmetry.forward))
+    x.Route_asymmetry.pairs
+
+let test_long_term_designs () =
+  let s = Lazy.force scenario in
+  let rng = Rng.of_int 43 in
+  let outs = Long_term.compare_designs ~rng ~horizon_days:60 ~f:0.08 ~n_draws:4 s in
+  check_int "four designs" 4 (List.length outs);
+  List.iter
+    (fun o ->
+       check_bool "fraction in range" true
+         (o.Long_term.compromised_fraction >= 0.
+          && o.Long_term.compromised_fraction <= 1.);
+       check_bool "median within horizon" true
+         (match o.Long_term.median_day with
+          | Some d -> d >= 1 && d <= 60
+          | None -> true);
+       check_int "days list consistent"
+         (List.length o.Long_term.days_to_compromise)
+         (int_of_float
+            (Float.round
+               (o.Long_term.compromised_fraction *. float_of_int o.Long_term.clients))))
+    outs
+
+let test_long_term_monotone_in_f () =
+  let s = Lazy.force scenario in
+  let frac f seed =
+    let rng = Rng.of_int seed in
+    let outs = Long_term.compare_designs ~rng ~horizon_days:60 ~f ~n_draws:4 s in
+    List.fold_left (fun acc o -> acc +. o.Long_term.compromised_fraction) 0. outs
+  in
+  check_bool "more malicious ASes, more compromise" true
+    (frac 0.15 44 >= frac 0.02 44)
+
+let test_convergence_leak () =
+  let m = Lazy.force measurement in
+  let x = Convergence_leak.compute m in
+  check_bool "counts non-negative" true
+    (List.for_all (fun c -> c >= 0) x.Convergence_leak.transient_counts);
+  check_bool "fraction in range" true
+    (x.Convergence_leak.frac_cases_with_transient >= 0.
+     && x.Convergence_leak.frac_cases_with_transient <= 1.);
+  (* a zero analysis threshold means nothing is transient *)
+  let strict = Convergence_leak.compute ~analysis_threshold:0. m in
+  check_int "no transients at threshold 0" 0
+    strict.Convergence_leak.total_transient_ases
+
+let test_guard_inference () =
+  let s = Lazy.force scenario in
+  let rng = Rng.of_int 45 in
+  let consensus = s.Scenario.consensus in
+  let true_guard = Path_selection.pick_weighted ~rng (Consensus.guards consensus) in
+  let strong =
+    { Guard_inference.default_config with
+      Guard_inference.noise_sigma = 0.0001; probes = 1; n_candidates = 200 }
+  in
+  let r = Guard_inference.infer ~rng ~config:strong consensus ~true_guard in
+  check_bool "noise-free inference is exact" true r.Guard_inference.correct;
+  check_bool "true guard probed" true r.Guard_inference.true_guard_probed;
+  (* more probes help *)
+  let rate probes =
+    let rng = Rng.of_int 46 in
+    let config = { Guard_inference.default_config with Guard_inference.probes } in
+    Guard_inference.success_rate ~rng ~config ~trials:120 consensus
+  in
+  check_bool "probing more beats probing once" true (rate 12 >= rate 1)
+
+let () =
+  Alcotest.run "qs_core"
+    [ ("scenario",
+       [ Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+         Alcotest.test_case "seed matters" `Quick test_scenario_seed_matters;
+         Alcotest.test_case "guard announcements" `Quick
+           test_scenario_guard_announcement;
+         Alcotest.test_case "client AS sampling" `Quick test_scenario_client_as;
+         Alcotest.test_case "rng_for stability" `Quick test_scenario_rng_for_stable ]);
+      ("measurement",
+       [ Alcotest.test_case "cells consistent" `Quick test_measurement_cells_consistent;
+         Alcotest.test_case "baseline residency" `Quick
+           test_measurement_baseline_residency;
+         Alcotest.test_case "extra-AS threshold monotone" `Quick
+           test_measurement_extra_ases_threshold;
+         Alcotest.test_case "visibility bounds" `Quick
+           test_measurement_visibility_bounds;
+         Alcotest.test_case "extra updates merged" `Quick
+           test_measurement_extra_updates_merged ]);
+      ("experiments",
+       [ Alcotest.test_case "T1 dataset" `Quick test_dataset;
+         Alcotest.test_case "F2L concentration" `Quick test_concentration;
+         Alcotest.test_case "F3L path changes" `Quick test_path_changes;
+         Alcotest.test_case "F3R exposure" `Quick test_as_exposure;
+         Alcotest.test_case "M1 compromise" `Quick test_compromise;
+         Alcotest.test_case "F2R run" `Quick test_asymmetric_run;
+         Alcotest.test_case "F2R matching" `Quick test_asymmetric_matching;
+         Alcotest.test_case "A1 hijack" `Quick test_hijack_experiment;
+         Alcotest.test_case "A2 interception" `Quick test_interception_experiment;
+         Alcotest.test_case "C1a selection" `Quick test_countermeasure_selection;
+         Alcotest.test_case "C1c monitoring" `Quick test_countermeasure_monitoring ]);
+      ("extensions",
+       [ Alcotest.test_case "X1 ROV sweep" `Quick test_bgp_security_sweep;
+         Alcotest.test_case "X2 route asymmetry" `Quick test_route_asymmetry;
+         Alcotest.test_case "M2 guard designs" `Quick test_long_term_designs;
+         Alcotest.test_case "M2 monotone in f" `Quick test_long_term_monotone_in_f;
+         Alcotest.test_case "X3 convergence leak" `Quick test_convergence_leak;
+         Alcotest.test_case "GI guard inference" `Quick test_guard_inference ]) ]

@@ -1,0 +1,354 @@
+(* Unit and property tests for qs_net: RNG, IPv4, prefixes, trie, pqueue. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- Rng ----------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.of_int 7 and b = Rng.of_int 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.of_int 7 in
+  let c = Rng.split a in
+  let x = Rng.int64 a and y = Rng.int64 c in
+  check_bool "split streams differ" true (not (Int64.equal x y))
+
+let test_rng_int_bounds () =
+  let rng = Rng.of_int 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects () =
+  let rng = Rng.of_int 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.of_int 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    check_bool "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_weighted_index () =
+  let rng = Rng.of_int 5 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Rng.weighted_index rng [| 1.; 2.; 7. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_bool "heaviest wins" true (counts.(2) > counts.(1) && counts.(1) > counts.(0));
+  let frac2 = float_of_int counts.(2) /. 30_000. in
+  check_bool "roughly 0.7" true (Float.abs (frac2 -. 0.7) < 0.05)
+
+let test_rng_weighted_rejects () =
+  let rng = Rng.of_int 5 in
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Rng.weighted_index: all-zero weights")
+    (fun () -> ignore (Rng.weighted_index rng [| 0.; 0. |]))
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.of_int 13 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.of_int 17 in
+  let arr = Array.init 20 (fun i -> i) in
+  let s = Rng.sample_without_replacement rng 8 arr in
+  check_int "8 elements" 8 (List.length s);
+  check_int "distinct" 8 (List.length (List.sort_uniq Int.compare s));
+  let all = Rng.sample_without_replacement rng 50 arr in
+  check_int "capped at n" 20 (List.length all)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.of_int 23 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean ~ 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_rng_geometric () =
+  let rng = Rng.of_int 29 in
+  check_int "p=1 is 0" 0 (Rng.geometric rng 1.0);
+  for _ = 1 to 1000 do
+    check_bool "non-negative" true (Rng.geometric rng 0.3 >= 0)
+  done
+
+(* ---- Ipv4 ----------------------------------------------------------- *)
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s -> check_string "roundtrip" s (Ipv4.to_string (Ipv4.of_string s)))
+    [ "0.0.0.0"; "10.1.2.3"; "255.255.255.255"; "192.168.0.1"; "78.46.0.0" ]
+
+let test_ipv4_rejects () =
+  List.iter
+    (fun s ->
+       check_bool (Printf.sprintf "reject %s" s) true
+         (Option.is_none (Ipv4.of_string_opt s)))
+    [ "256.0.0.1"; "1.2.3"; "1.2.3.4.5"; "a.b.c.d"; ""; "1..2.3"; "-1.2.3.4" ]
+
+let test_ipv4_bits () =
+  let a = Ipv4.of_string "128.0.0.1" in
+  check_bool "msb set" true (Ipv4.bit a 0);
+  check_bool "bit 1 clear" false (Ipv4.bit a 1);
+  check_bool "lsb set" true (Ipv4.bit a 31)
+
+let test_ipv4_arith () =
+  check_string "succ wraps" "0.0.0.0"
+    (Ipv4.to_string (Ipv4.succ (Ipv4.of_string "255.255.255.255")));
+  check_string "add" "10.0.1.0"
+    (Ipv4.to_string (Ipv4.add (Ipv4.of_string "10.0.0.0") 256))
+
+let prop_ipv4_string_roundtrip =
+  QCheck.Test.make ~name:"ipv4 of_string/to_string roundtrip" ~count:500
+    QCheck.(quad (int_bound 255) (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, c, d) ->
+       let ip = Ipv4.of_octets a b c d in
+       Ipv4.equal ip (Ipv4.of_string (Ipv4.to_string ip)))
+
+(* ---- Prefix --------------------------------------------------------- *)
+
+let test_prefix_canonical () =
+  let p = Prefix.make (Ipv4.of_string "10.1.2.3") 8 in
+  check_string "host bits zeroed" "10.0.0.0/8" (Prefix.to_string p)
+
+let test_prefix_mem () =
+  let p = Prefix.of_string "78.46.0.0/15" in
+  check_bool "inside" true (Prefix.mem (Ipv4.of_string "78.47.255.255") p);
+  check_bool "outside" false (Prefix.mem (Ipv4.of_string "78.48.0.0") p)
+
+let test_prefix_subsumes () =
+  let p15 = Prefix.of_string "78.46.0.0/15" in
+  let p20 = Prefix.of_string "78.46.16.0/20" in
+  check_bool "p15 subsumes p20" true (Prefix.subsumes p15 p20);
+  check_bool "p20 not subsumes p15" false (Prefix.subsumes p20 p15);
+  check_bool "self" true (Prefix.subsumes p15 p15);
+  check_bool "overlap" true (Prefix.overlaps p20 p15)
+
+let test_prefix_split () =
+  let p = Prefix.of_string "10.0.0.0/8" in
+  let lo, hi = Prefix.split p in
+  check_string "low half" "10.0.0.0/9" (Prefix.to_string lo);
+  check_string "high half" "10.128.0.0/9" (Prefix.to_string hi);
+  Alcotest.check_raises "cannot split /32"
+    (Invalid_argument "Prefix.split: cannot split a /32")
+    (fun () -> ignore (Prefix.split (Prefix.host (Ipv4.of_string "1.2.3.4"))))
+
+let test_prefix_nth () =
+  let p = Prefix.of_string "10.0.0.0/30" in
+  check_string "nth 3" "10.0.0.3" (Ipv4.to_string (Prefix.nth p 3));
+  Alcotest.check_raises "nth out of range"
+    (Invalid_argument "Prefix.nth: index out of range")
+    (fun () -> ignore (Prefix.nth p 4))
+
+let prefix_gen =
+  QCheck.Gen.(
+    map2
+      (fun addr len -> Prefix.make (Ipv4.of_int_trunc addr) len)
+      (int_bound 0xFFFFFFF |> map (fun x -> x * 16))
+      (int_bound 32))
+
+let arbitrary_prefix = QCheck.make ~print:Prefix.to_string prefix_gen
+
+let prop_prefix_split_partitions =
+  QCheck.Test.make ~name:"split halves partition the parent" ~count:300
+    arbitrary_prefix
+    (fun p ->
+       QCheck.assume (Prefix.length p < 32);
+       let lo, hi = Prefix.split p in
+       Prefix.subsumes p lo && Prefix.subsumes p hi
+       && (not (Prefix.overlaps lo hi))
+       && Prefix.size lo + Prefix.size hi = Prefix.size p)
+
+let prop_prefix_mem_first_last =
+  QCheck.Test.make ~name:"first and last are members" ~count:300
+    arbitrary_prefix
+    (fun p -> Prefix.mem (Prefix.first p) p && Prefix.mem (Prefix.last p) p)
+
+(* ---- Prefix_trie ---------------------------------------------------- *)
+
+let test_trie_basics () =
+  let t =
+    Prefix_trie.empty
+    |> Prefix_trie.add (Prefix.of_string "10.0.0.0/8") "a"
+    |> Prefix_trie.add (Prefix.of_string "10.1.0.0/16") "b"
+    |> Prefix_trie.add (Prefix.of_string "10.1.2.0/24") "c"
+  in
+  check_int "cardinal" 3 (Prefix_trie.cardinal t);
+  Alcotest.(check (option string)) "exact find"
+    (Some "b") (Prefix_trie.find (Prefix.of_string "10.1.0.0/16") t);
+  (match Prefix_trie.longest_match (Ipv4.of_string "10.1.2.3") t with
+   | Some (p, v) ->
+       check_string "lpm prefix" "10.1.2.0/24" (Prefix.to_string p);
+       check_string "lpm value" "c" v
+   | None -> Alcotest.fail "expected a match");
+  (match Prefix_trie.longest_match (Ipv4.of_string "10.9.0.1") t with
+   | Some (p, _) -> check_string "falls back" "10.0.0.0/8" (Prefix.to_string p)
+   | None -> Alcotest.fail "expected a match");
+  check_bool "no match outside" true
+    (Option.is_none (Prefix_trie.longest_match (Ipv4.of_string "11.0.0.1") t))
+
+let test_trie_remove () =
+  let p = Prefix.of_string "10.1.0.0/16" in
+  let t = Prefix_trie.add p 1 Prefix_trie.empty in
+  let t = Prefix_trie.remove p t in
+  check_bool "removed" true (Prefix_trie.is_empty t)
+
+let test_trie_matches_order () =
+  let t =
+    Prefix_trie.of_list
+      [ (Prefix.of_string "10.0.0.0/8", 8);
+        (Prefix.of_string "10.1.0.0/16", 16);
+        (Prefix.of_string "10.1.2.0/24", 24) ]
+  in
+  let ms = Prefix_trie.matches (Ipv4.of_string "10.1.2.3") t in
+  Alcotest.(check (list int)) "most specific first" [ 24; 16; 8 ]
+    (List.map snd ms)
+
+let test_trie_covered () =
+  let t =
+    Prefix_trie.of_list
+      [ (Prefix.of_string "10.0.0.0/8", ());
+        (Prefix.of_string "10.1.0.0/16", ());
+        (Prefix.of_string "10.2.0.0/16", ());
+        (Prefix.of_string "11.0.0.0/8", ()) ]
+  in
+  let covered = Prefix_trie.covered (Prefix.of_string "10.0.0.0/8") t in
+  check_int "three inside" 3 (List.length covered);
+  let covered16 = Prefix_trie.covered (Prefix.of_string "10.1.0.0/16") t in
+  check_int "one inside /16" 1 (List.length covered16)
+
+let test_trie_fold_order () =
+  let ps =
+    [ "10.0.0.0/8"; "9.0.0.0/8"; "10.1.0.0/16"; "11.0.0.0/8"; "10.0.0.0/7" ]
+    |> List.map Prefix.of_string
+  in
+  let t = Prefix_trie.of_list (List.map (fun p -> (p, ())) ps) in
+  let keys = Prefix_trie.keys t in
+  let sorted = List.sort Prefix.compare ps in
+  Alcotest.(check (list string)) "fold in Prefix.compare order"
+    (List.map Prefix.to_string sorted)
+    (List.map Prefix.to_string keys)
+
+let prop_trie_lpm_vs_brute_force =
+  let pair_gen = QCheck.Gen.(list_size (int_range 1 30) prefix_gen) in
+  QCheck.Test.make ~name:"trie longest_match equals brute force" ~count:200
+    (QCheck.make pair_gen)
+    (fun prefixes ->
+       let entries = List.mapi (fun i p -> (p, i)) prefixes in
+       let t = Prefix_trie.of_list entries in
+       (* dedup (later binding wins in trie) mirrored in the assoc list *)
+       let dedup =
+         List.fold_left (fun acc (p, i) ->
+             (p, i) :: List.filter (fun (q, _) -> not (Prefix.equal p q)) acc)
+           [] entries
+       in
+       let addr = Ipv4.of_int_trunc (Hashtbl.hash prefixes * 2654435761) in
+       let brute =
+         dedup
+         |> List.filter (fun (p, _) -> Prefix.mem addr p)
+         |> List.sort (fun (p, _) (q, _) ->
+             Int.compare (Prefix.length q) (Prefix.length p))
+       in
+       match (Prefix_trie.longest_match addr t, brute) with
+       | None, [] -> true
+       | Some (p, _), (q, _) :: _ -> Prefix.length p = Prefix.length q && Prefix.mem addr p
+       | Some _, [] | None, _ :: _ -> false)
+
+let prop_trie_add_find =
+  QCheck.Test.make ~name:"add then find" ~count:300
+    QCheck.(pair arbitrary_prefix small_int)
+    (fun (p, v) ->
+       let t = Prefix_trie.add p v Prefix_trie.empty in
+       Prefix_trie.find p t = Some v)
+
+(* ---- Pqueue --------------------------------------------------------- *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun (k, v) -> Pqueue.push q k v)
+    [ (3., "c"); (1., "a"); (2., "b"); (0.5, "z") ];
+  let drained = List.map snd (Pqueue.drain q) in
+  Alcotest.(check (list string)) "key order" [ "z"; "a"; "b"; "c" ] drained
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q 1.0 v) [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4 ]
+    (List.map snd (Pqueue.drain q))
+
+let test_pqueue_pop_until () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k k) [ 5.; 1.; 3.; 2.; 4. ];
+  let early = Pqueue.pop_until q 3. in
+  Alcotest.(check (list (float 0.01))) "popped <= 3" [ 1.; 2.; 3. ]
+    (List.map fst early);
+  check_int "rest remains" 2 (Pqueue.length q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains sorted" ~count:300
+    QCheck.(list (map Float.abs float))
+    (fun keys ->
+       let q = Pqueue.create () in
+       List.iter (fun k -> Pqueue.push q k ()) keys;
+       let out = List.map fst (Pqueue.drain q) in
+       out = List.sort Float.compare keys)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "qs_net"
+    [ ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+         Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+         Alcotest.test_case "int rejects" `Quick test_rng_int_rejects;
+         Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+         Alcotest.test_case "weighted index" `Quick test_rng_weighted_index;
+         Alcotest.test_case "weighted rejects" `Quick test_rng_weighted_rejects;
+         Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+         Alcotest.test_case "sample without replacement" `Quick
+           test_rng_sample_without_replacement;
+         Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+         Alcotest.test_case "geometric" `Quick test_rng_geometric ]);
+      ("ipv4",
+       [ Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+         Alcotest.test_case "rejects malformed" `Quick test_ipv4_rejects;
+         Alcotest.test_case "bits" `Quick test_ipv4_bits;
+         Alcotest.test_case "arithmetic" `Quick test_ipv4_arith ]
+       @ qsuite [ prop_ipv4_string_roundtrip ]);
+      ("prefix",
+       [ Alcotest.test_case "canonical form" `Quick test_prefix_canonical;
+         Alcotest.test_case "membership" `Quick test_prefix_mem;
+         Alcotest.test_case "subsumption" `Quick test_prefix_subsumes;
+         Alcotest.test_case "split" `Quick test_prefix_split;
+         Alcotest.test_case "nth" `Quick test_prefix_nth ]
+       @ qsuite [ prop_prefix_split_partitions; prop_prefix_mem_first_last ]);
+      ("prefix_trie",
+       [ Alcotest.test_case "basics" `Quick test_trie_basics;
+         Alcotest.test_case "remove" `Quick test_trie_remove;
+         Alcotest.test_case "matches order" `Quick test_trie_matches_order;
+         Alcotest.test_case "covered" `Quick test_trie_covered;
+         Alcotest.test_case "fold order" `Quick test_trie_fold_order ]
+       @ qsuite [ prop_trie_lpm_vs_brute_force; prop_trie_add_find ]);
+      ("pqueue",
+       [ Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+         Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+         Alcotest.test_case "pop until" `Quick test_pqueue_pop_until ]
+       @ qsuite [ prop_pqueue_sorts ]) ]

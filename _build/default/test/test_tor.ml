@@ -1,0 +1,267 @@
+(* Tests for qs_tor: relays, consensus generation, Tor-prefix mapping and
+   path selection. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let setup seed =
+  let rng = Rng.of_int seed in
+  let g = Topo_gen.generate ~rng:(Rng.split rng) Topo_gen.small_params in
+  let addressing = Addressing.allocate ~rng:(Rng.split rng) g in
+  let consensus =
+    Consensus.generate ~rng:(Rng.split rng) ~params:Consensus.small_params g addressing
+  in
+  (rng, g, addressing, consensus)
+
+(* ---- Relay ----------------------------------------------------------- *)
+
+let test_relay_flags () =
+  let r =
+    Relay.make ~nickname:"r1" ~ip:(Ipv4.of_string "1.2.3.4") ~asn:(Asn.of_int 7)
+      ~bandwidth:100 ~flags:[ Relay.Guard; Relay.Fast ]
+  in
+  check_bool "guard" true (Relay.is_guard r);
+  check_bool "not exit" false (Relay.is_exit r);
+  check_bool "has fast" true (Relay.has_flag r Relay.Fast);
+  Alcotest.check_raises "negative bandwidth"
+    (Invalid_argument "Relay.make: negative bandwidth")
+    (fun () ->
+       ignore
+         (Relay.make ~nickname:"x" ~ip:(Ipv4.of_string "1.2.3.4")
+            ~asn:(Asn.of_int 7) ~bandwidth:(-1) ~flags:[]))
+
+let test_relay_flag_strings () =
+  List.iter
+    (fun f ->
+       check_bool "roundtrip" true
+         (Relay.flag_of_string (Relay.flag_to_string f) = Some f))
+    [ Relay.Guard; Relay.Exit; Relay.Fast; Relay.Stable ];
+  check_bool "unknown flag" true (Relay.flag_of_string "Bogus" = None)
+
+(* ---- Consensus ------------------------------------------------------- *)
+
+let test_consensus_counts () =
+  let _, _, _, consensus = setup 1 in
+  let p = Consensus.small_params in
+  check_int "relays" p.Consensus.n_relays (Consensus.n_relays consensus);
+  check_int "guards" p.Consensus.n_guards (List.length (Consensus.guards consensus));
+  check_int "exits" p.Consensus.n_exits (List.length (Consensus.exits consensus));
+  let both =
+    Array.to_list consensus.Consensus.relays
+    |> List.filter (fun r -> Relay.is_guard r && Relay.is_exit r)
+  in
+  check_int "guard+exit" p.Consensus.n_guard_exits (List.length both);
+  check_int "guard-or-exit"
+    (p.Consensus.n_guards + p.Consensus.n_exits - p.Consensus.n_guard_exits)
+    (List.length (Consensus.guard_or_exit consensus))
+
+let test_consensus_params_validated () =
+  let _, g, addressing, _ = setup 2 in
+  let bad = { Consensus.small_params with Consensus.n_guard_exits = 1000 } in
+  check_bool "inconsistent flags rejected" true
+    (try ignore (Consensus.generate ~rng:(Rng.of_int 0) ~params:bad g addressing); false
+     with Invalid_argument _ -> true)
+
+let test_consensus_serialization_roundtrip () =
+  let _, _, _, consensus = setup 3 in
+  let s = Consensus.to_string consensus in
+  let consensus' = Consensus.of_string s in
+  check_int "relay count" (Consensus.n_relays consensus) (Consensus.n_relays consensus');
+  let r = consensus.Consensus.relays.(0) and r' = consensus'.Consensus.relays.(0) in
+  check_bool "first relay survives" true
+    (Relay.equal r r' && r.Relay.bandwidth = r'.Relay.bandwidth
+     && r.Relay.nickname = r'.Relay.nickname
+     && Asn.equal r.Relay.asn r'.Relay.asn);
+  check_int "guards survive" (List.length (Consensus.guards consensus))
+    (List.length (Consensus.guards consensus'))
+
+let test_consensus_relays_in_hosting () =
+  (* hosting ASes should collectively host a disproportionate share *)
+  let _, g, _, consensus = setup 4 in
+  let hosting = Topo_gen.hosting_ases g |> List.map fst in
+  let hosted =
+    List.fold_left (fun acc a -> acc + List.length (Consensus.relays_in consensus a))
+      0 hosting
+  in
+  let frac = float_of_int hosted /. float_of_int (Consensus.n_relays consensus) in
+  check_bool "hosting ASes over-represented" true (frac > 0.3)
+
+let test_consensus_deterministic () =
+  let _, _, _, c1 = setup 5 in
+  let _, _, _, c2 = setup 5 in
+  Alcotest.(check string) "same consensus" (Consensus.to_string c1)
+    (Consensus.to_string c2)
+
+(* ---- Tor_prefix ------------------------------------------------------ *)
+
+let test_tor_prefix_mapping () =
+  let _, _, addressing, consensus = setup 6 in
+  let tp = Tor_prefix.compute addressing consensus in
+  check_bool "some prefixes found" true (Tor_prefix.count tp > 0);
+  check_int "nothing unmapped" 0 (Tor_prefix.unmapped tp);
+  (* every guard/exit relay maps to a prefix that contains it and is the
+     most specific announced one *)
+  List.iter
+    (fun (r : Relay.t) ->
+       match Tor_prefix.prefix_of_relay tp r with
+       | Some (p, origin) ->
+           check_bool "contains the relay" true (Prefix.mem r.Relay.ip p);
+           check_bool "most specific" true
+             (match Addressing.covering_prefix addressing r.Relay.ip with
+              | Some (p', o') -> Prefix.equal p p' && Asn.equal origin o'
+              | None -> false)
+       | None -> Alcotest.fail "guard/exit relay unmapped")
+    (Consensus.guard_or_exit consensus)
+
+let test_tor_prefix_entries_consistent () =
+  let _, _, addressing, consensus = setup 7 in
+  let tp = Tor_prefix.compute addressing consensus in
+  let total_relays =
+    List.fold_left (fun acc e -> acc + List.length e.Tor_prefix.relays) 0
+      (Tor_prefix.entries tp)
+  in
+  check_int "entries partition the guard/exit relays"
+    (List.length (Consensus.guard_or_exit consensus)) total_relays;
+  check_int "counts agree" (Tor_prefix.count tp)
+    (List.length (Tor_prefix.entries tp));
+  List.iter
+    (fun e -> check_bool "is_tor_prefix" true (Tor_prefix.is_tor_prefix tp e.Tor_prefix.prefix))
+    (Tor_prefix.entries tp);
+  check_int "relays_per_prefix matches" (Tor_prefix.count tp)
+    (List.length (Tor_prefix.relays_per_prefix tp))
+
+(* ---- Path_selection -------------------------------------------------- *)
+
+let test_pick_weighted_bias () =
+  let rng = Rng.of_int 8 in
+  let mk bw ip =
+    Relay.make ~nickname:"r" ~ip:(Ipv4.of_string ip) ~asn:(Asn.of_int 1)
+      ~bandwidth:bw ~flags:[ Relay.Guard ]
+  in
+  let heavy = mk 900 "10.0.0.1" and light = mk 100 "10.1.0.1" in
+  let heavy_count = ref 0 in
+  for _ = 1 to 5000 do
+    if Relay.equal (Path_selection.pick_weighted ~rng [ heavy; light ]) heavy then
+      incr heavy_count
+  done;
+  let frac = float_of_int !heavy_count /. 5000. in
+  check_bool "bandwidth weighting holds" true (Float.abs (frac -. 0.9) < 0.03)
+
+let test_conflict_rule () =
+  let mk ip =
+    Relay.make ~nickname:"r" ~ip:(Ipv4.of_string ip) ~asn:(Asn.of_int 1)
+      ~bandwidth:10 ~flags:[]
+  in
+  check_bool "same /16 conflicts" true
+    (Path_selection.conflict (mk "10.0.0.1") (mk "10.0.255.9"));
+  check_bool "different /16 ok" false
+    (Path_selection.conflict (mk "10.0.0.1") (mk "10.1.0.1"))
+
+let test_pick_guards () =
+  let rng, _, _, consensus = setup 9 in
+  let guards = Path_selection.pick_guards ~rng consensus ~n:3 in
+  check_int "three guards" 3 (List.length guards);
+  List.iter (fun g -> check_bool "guard flagged" true (Relay.is_guard g)) guards;
+  (* pairwise no conflicts *)
+  List.iteri
+    (fun i a ->
+       List.iteri
+         (fun j b ->
+            if i < j then
+              check_bool "diverse /16s" false (Path_selection.conflict a b))
+         guards)
+    guards
+
+let test_build_circuit () =
+  let rng, _, _, consensus = setup 10 in
+  let guards = Path_selection.pick_guards ~rng consensus ~n:3 in
+  for _ = 1 to 50 do
+    let c = Path_selection.build_circuit ~rng consensus ~guards in
+    check_bool "guard from set" true
+      (List.exists (Relay.equal c.Path_selection.guard) guards);
+    check_bool "exit flagged" true (Relay.is_exit c.Path_selection.exit);
+    check_bool "no conflicts" false
+      (Path_selection.conflict c.Path_selection.guard c.Path_selection.exit
+       || Path_selection.conflict c.Path_selection.guard c.Path_selection.middle
+       || Path_selection.conflict c.Path_selection.middle c.Path_selection.exit)
+  done
+
+let test_client_guard_rotation () =
+  let rng, _, addressing, consensus = setup 11 in
+  let ip = Addressing.address_in ~rng addressing (Asn.of_int 100) in
+  let client =
+    Path_selection.make_client ~rng consensus ~id:0 ~asn:(Asn.of_int 100) ~ip 0.
+  in
+  check_int "three guards by default" 3 (List.length client.Path_selection.guard_set);
+  let rotated =
+    Path_selection.rotate_guards_if_due ~rng consensus
+      ~rotation_period:(30. *. 86400.) ~now:(10. *. 86400.) client
+  in
+  check_bool "not due yet" false rotated;
+  let rotated =
+    Path_selection.rotate_guards_if_due ~rng consensus
+      ~rotation_period:(30. *. 86400.) ~now:(31. *. 86400.) client
+  in
+  check_bool "rotates when due" true rotated;
+  check_bool "timestamp updated" true
+    (client.Path_selection.guards_chosen_at = 31. *. 86400.)
+
+let prop_circuits_always_valid =
+  QCheck.Test.make ~name:"circuits never violate diversity" ~count:30
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+       let rng, _, _, consensus = setup seed in
+       let guards = Path_selection.pick_guards ~rng consensus ~n:3 in
+       let c = Path_selection.build_circuit ~rng consensus ~guards in
+       not
+         (Path_selection.conflict c.Path_selection.guard c.Path_selection.exit
+          || Path_selection.conflict c.Path_selection.guard c.Path_selection.middle
+          || Path_selection.conflict c.Path_selection.middle c.Path_selection.exit))
+
+let prop_consensus_counts_exact =
+  QCheck.Test.make ~name:"generated consensus always hits the pinned counts"
+    ~count:8 QCheck.(int_bound 10_000)
+    (fun seed ->
+       let _, _, _, consensus = setup seed in
+       let p = Consensus.small_params in
+       Consensus.n_relays consensus = p.Consensus.n_relays
+       && List.length (Consensus.guards consensus) = p.Consensus.n_guards
+       && List.length (Consensus.exits consensus) = p.Consensus.n_exits)
+
+let prop_serialization_stable =
+  QCheck.Test.make ~name:"consensus serialization is a fixpoint" ~count:5
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+       let _, _, _, consensus = setup seed in
+       let s1 = Consensus.to_string consensus in
+       let s2 = Consensus.to_string (Consensus.of_string s1) in
+       s1 = s2)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "qs_tor"
+    [ ("relay",
+       [ Alcotest.test_case "flags" `Quick test_relay_flags;
+         Alcotest.test_case "flag strings" `Quick test_relay_flag_strings ]);
+      ("consensus",
+       [ Alcotest.test_case "flag counts" `Quick test_consensus_counts;
+         Alcotest.test_case "param validation" `Quick test_consensus_params_validated;
+         Alcotest.test_case "serialization roundtrip" `Quick
+           test_consensus_serialization_roundtrip;
+         Alcotest.test_case "hosting concentration" `Quick
+           test_consensus_relays_in_hosting;
+         Alcotest.test_case "deterministic" `Quick test_consensus_deterministic ]);
+      ("tor_prefix",
+       [ Alcotest.test_case "relay mapping" `Quick test_tor_prefix_mapping;
+         Alcotest.test_case "entries consistent" `Quick
+           test_tor_prefix_entries_consistent ]);
+      ("path_selection",
+       [ Alcotest.test_case "bandwidth weighting" `Quick test_pick_weighted_bias;
+         Alcotest.test_case "/16 conflict rule" `Quick test_conflict_rule;
+         Alcotest.test_case "guard sets" `Quick test_pick_guards;
+         Alcotest.test_case "circuit constraints" `Quick test_build_circuit;
+         Alcotest.test_case "guard rotation" `Quick test_client_guard_rotation ]
+       @ qsuite [ prop_circuits_always_valid ]);
+      ("properties",
+       qsuite [ prop_consensus_counts_exact; prop_serialization_stable ]) ]

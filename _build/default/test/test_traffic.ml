@@ -1,0 +1,338 @@
+(* Tests for qs_traffic: the event-driven network simulator, TCP, traces,
+   and the onion circuit chain. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ip = Ipv4.of_string
+
+let mk_packet ?(payload = 0) ?(seq = 0) ?(ack = 0) src dst =
+  { Netsim.src = ip src; dst = ip dst; sport = 1; dport = 2; seq; ack;
+    payload; wnd = 65535; syn = false; fin = false }
+
+(* ---- Netsim ---------------------------------------------------------- *)
+
+let test_netsim_delivery_and_latency () =
+  let net = Netsim.create ~rng:(Rng.of_int 1) () in
+  let a = Netsim.add_node net and b = Netsim.add_node net in
+  Netsim.link net a b ~latency:0.25 ();
+  let arrived = ref [] in
+  Netsim.set_handler net b (fun net _ -> arrived := Netsim.now net :: !arrived);
+  Netsim.send net ~from:a ~to_:b (mk_packet "10.0.0.1" "10.0.0.2");
+  Netsim.run net;
+  Alcotest.(check (list (float 0.001))) "arrives after latency" [ 0.25 ] !arrived
+
+let test_netsim_fifo_no_reorder () =
+  (* heavy jitter must not reorder packets on one link *)
+  let net = Netsim.create ~rng:(Rng.of_int 2) () in
+  let a = Netsim.add_node net and b = Netsim.add_node net in
+  Netsim.link net a b ~latency:0.01 ~jitter:0.5 ();
+  let seen = ref [] in
+  Netsim.set_handler net b (fun _ p -> seen := p.Netsim.seq :: !seen);
+  for i = 1 to 50 do
+    Netsim.send net ~from:a ~to_:b (mk_packet ~seq:i "10.0.0.1" "10.0.0.2")
+  done;
+  Netsim.run net;
+  Alcotest.(check (list int)) "in order" (List.init 50 (fun i -> i + 1))
+    (List.rev !seen)
+
+let test_netsim_loss () =
+  let net = Netsim.create ~rng:(Rng.of_int 3) () in
+  let a = Netsim.add_node net and b = Netsim.add_node net in
+  Netsim.link net a b ~latency:0.001 ~loss:0.5 ();
+  let count = ref 0 in
+  Netsim.set_handler net b (fun _ _ -> incr count);
+  for _ = 1 to 2000 do
+    Netsim.send net ~from:a ~to_:b (mk_packet "10.0.0.1" "10.0.0.2")
+  done;
+  Netsim.run net;
+  check_bool "about half lost" true (!count > 800 && !count < 1200)
+
+let test_netsim_tap_sees_everything () =
+  (* taps observe before loss, like tcpdump at the sender *)
+  let net = Netsim.create ~rng:(Rng.of_int 4) () in
+  let a = Netsim.add_node net and b = Netsim.add_node net in
+  Netsim.link net a b ~latency:0.001 ~loss:1.0 ();
+  let tapped = ref 0 in
+  Netsim.set_tap net ~from:a ~to_:b (fun _ _ -> incr tapped);
+  for _ = 1 to 10 do
+    Netsim.send net ~from:a ~to_:b (mk_packet "10.0.0.1" "10.0.0.2")
+  done;
+  Netsim.run net;
+  check_int "tap sees all despite loss" 10 !tapped
+
+let test_netsim_timers () =
+  let net = Netsim.create ~rng:(Rng.of_int 5) () in
+  let fired = ref [] in
+  Netsim.schedule net 1.0 (fun net -> fired := Netsim.now net :: !fired);
+  Netsim.schedule net 0.5 (fun net -> fired := Netsim.now net :: !fired);
+  Netsim.run net;
+  Alcotest.(check (list (float 0.001))) "timer order" [ 1.0; 0.5 ] !fired
+
+let test_netsim_run_until () =
+  let net = Netsim.create ~rng:(Rng.of_int 6) () in
+  let fired = ref 0 in
+  Netsim.schedule net 1.0 (fun _ -> incr fired);
+  Netsim.schedule net 5.0 (fun _ -> incr fired);
+  Netsim.run ~until:2.0 net;
+  check_int "only early timer" 1 !fired
+
+let test_netsim_rejects () =
+  let net = Netsim.create ~rng:(Rng.of_int 7) () in
+  let a = Netsim.add_node net in
+  let b = Netsim.add_node net in
+  check_bool "self link rejected" true
+    (try Netsim.link net a a ~latency:0.1 (); false
+     with Invalid_argument _ -> true);
+  check_bool "send without link rejected" true
+    (try Netsim.send net ~from:a ~to_:b (mk_packet "10.0.0.1" "10.0.0.2"); false
+     with Invalid_argument _ -> true)
+
+(* ---- Tcp ------------------------------------------------------------- *)
+
+let tcp_pair ?(latency = 0.02) ?(jitter = 0.) ?(loss = 0.) ?(options = Tcp.default_options)
+    seed =
+  let net = Netsim.create ~rng:(Rng.of_int seed) () in
+  let a = Netsim.add_node net and b = Netsim.add_node net in
+  Netsim.link net a b ~latency ~jitter ~loss ();
+  let ea = Tcp.attach net a (ip "10.0.0.1") in
+  let eb = Tcp.attach net b (ip "10.0.0.2") in
+  let ca, cb = Tcp.connect ~options ~a:ea ~b:eb () in
+  (net, ca, cb)
+
+let test_tcp_delivers_exact_bytes () =
+  let net, ca, cb = tcp_pair 1 in
+  Tcp.send ca 1_000_000;
+  Netsim.run ~until:60. net;
+  check_int "all bytes delivered" 1_000_000 (Tcp.bytes_delivered cb);
+  check_int "all bytes acked" 1_000_000 (Tcp.bytes_acked ca);
+  check_int "backlog drained" 0 (Tcp.bytes_queued ca)
+
+let test_tcp_bidirectional () =
+  let net, ca, cb = tcp_pair 2 in
+  Tcp.send ca 50_000;
+  Tcp.send cb 70_000;
+  Netsim.run ~until:60. net;
+  check_int "a->b" 50_000 (Tcp.bytes_delivered cb);
+  check_int "b->a" 70_000 (Tcp.bytes_delivered ca)
+
+let test_tcp_survives_loss () =
+  let net, ca, cb = tcp_pair ~loss:0.02 ~jitter:0.005 3 in
+  Tcp.send ca 500_000;
+  Netsim.run ~until:300. net;
+  check_int "loss recovered" 500_000 (Tcp.bytes_delivered cb);
+  let rto, frtx = Tcp.retransmit_stats ca in
+  check_bool "retransmissions happened" true (rto + frtx > 0)
+
+let test_tcp_acks_cumulative_monotone () =
+  let net = Netsim.create ~rng:(Rng.of_int 4) () in
+  let a = Netsim.add_node net and b = Netsim.add_node net in
+  Netsim.link net a b ~latency:0.02 ~loss:0.01 ();
+  let ea = Tcp.attach net a (ip "10.0.0.1") in
+  let eb = Tcp.attach net b (ip "10.0.0.2") in
+  let ca, cb = Tcp.connect ~a:ea ~b:eb () in
+  (* observe the ack stream b -> a *)
+  let last_ack = ref 0 and monotone = ref true in
+  Netsim.set_tap net ~from:b ~to_:a (fun _ p ->
+      if p.Netsim.ack < !last_ack then monotone := false;
+      last_ack := max !last_ack p.Netsim.ack);
+  Tcp.send ca 300_000;
+  Netsim.run ~until:120. net;
+  check_bool "cumulative acks never regress" true !monotone;
+  check_int "final ack covers everything" 300_000 !last_ack;
+  check_int "delivered" 300_000 (Tcp.bytes_delivered cb)
+
+let test_tcp_respects_rwnd () =
+  let options = { Tcp.default_options with Tcp.rwnd = 20_000 } in
+  let net = Netsim.create ~rng:(Rng.of_int 5) () in
+  let a = Netsim.add_node net and b = Netsim.add_node net in
+  Netsim.link net a b ~latency:0.05 ();
+  let ea = Tcp.attach net a (ip "10.0.0.1") in
+  let eb = Tcp.attach net b (ip "10.0.0.2") in
+  let ca, cb = Tcp.connect ~options ~a:ea ~b:eb () in
+  let in_flight_max = ref 0 in
+  Netsim.set_tap net ~from:a ~to_:b (fun _ p ->
+      let flight = p.Netsim.seq + p.Netsim.payload - Tcp.bytes_acked ca in
+      if flight > !in_flight_max then in_flight_max := flight);
+  Tcp.send ca 200_000;
+  Netsim.run ~until:120. net;
+  check_int "delivered" 200_000 (Tcp.bytes_delivered cb);
+  check_bool "window respected" true (!in_flight_max <= 20_000)
+
+let test_tcp_on_receive_counts () =
+  let net, ca, cb = tcp_pair 6 in
+  let received = ref 0 in
+  Tcp.set_on_receive cb (fun n -> received := !received + n);
+  Tcp.send ca 123_456;
+  Netsim.run ~until:60. net;
+  check_int "callback sums to total" 123_456 !received
+
+let test_tcp_flow_control_stalls () =
+  (* a receiver that never consumes must stall the sender near rwnd *)
+  let options = { Tcp.default_options with Tcp.rwnd = 30_000 } in
+  let net, ca, cb = tcp_pair ~options 7 in
+  Tcp.set_manual_consume cb true;
+  Tcp.send ca 500_000;
+  Netsim.run ~until:30. net;
+  check_bool "sender stalled around rwnd" true
+    (Tcp.bytes_delivered cb <= 30_000 + 1460);
+  check_int "backlog retained" (Tcp.bytes_delivered cb) (Tcp.receive_backlog cb);
+  (* consuming reopens the window and the transfer finishes *)
+  let rec drain net =
+    let n = Tcp.receive_backlog cb in
+    if n > 0 then Tcp.consume cb n;
+    if Tcp.bytes_delivered cb < 500_000 then Netsim.schedule net 0.05 drain
+  in
+  drain net;
+  Netsim.run ~until:120. net;
+  check_int "completes after consume" 500_000 (Tcp.bytes_delivered cb)
+
+let test_tcp_consume_rejects_negative () =
+  let _, _, cb = tcp_pair 8 in
+  check_bool "negative consume rejected" true
+    (try Tcp.consume cb (-1); false with Invalid_argument _ -> true)
+
+(* ---- Trace ----------------------------------------------------------- *)
+
+let test_trace_series () =
+  let t = Trace.create () in
+  let p payload ack = { (mk_packet "10.0.0.1" "10.0.0.2") with Netsim.payload; ack } in
+  Trace.tap t 0.1 (p 1000 0);
+  Trace.tap t 0.9 (p 500 0);
+  Trace.tap t 1.5 (p 2000 0);
+  let sent = Trace.bytes_sent_series t ~bin:1.0 ~duration:2.0 in
+  Alcotest.(check (array (float 0.01))) "sent bins" [| 1500.; 2000. |] sent;
+  check_int "total payload" 3500 (Trace.total_payload t);
+  (* cumulative acks: only increments count *)
+  let t2 = Trace.create () in
+  Trace.tap t2 0.2 (p 0 1000);
+  Trace.tap t2 0.4 (p 0 800);   (* reordered ack: no new bytes *)
+  Trace.tap t2 1.2 (p 0 4000);
+  let acked = Trace.bytes_acked_series t2 ~bin:1.0 ~duration:2.0 in
+  Alcotest.(check (array (float 0.01))) "acked bins" [| 1000.; 3000. |] acked;
+  check_int "max ack" 4000 (Trace.max_ack t2);
+  let cum = Trace.cumulative acked in
+  Alcotest.(check (array (float 0.01))) "cumulative" [| 1000.; 4000. |] cum
+
+let test_trace_rejects () =
+  let t = Trace.create () in
+  check_bool "bad bin rejected" true
+    (try ignore (Trace.bytes_sent_series t ~bin:0. ~duration:1.); false
+     with Invalid_argument _ -> true)
+
+(* ---- Onion ----------------------------------------------------------- *)
+
+let mb = 1024 * 1024
+
+let test_onion_download_completes () =
+  let r = Onion.download ~rng:(Rng.of_int 1) ~size:(2 * mb) () in
+  check_bool "completed" true r.Onion.completed;
+  check_bool "client received at least the payload" true
+    (r.Onion.client_received >= 2 * mb);
+  check_bool "finished in sane time" true
+    (r.Onion.finish_time > 0.5 && r.Onion.finish_time < 120.)
+
+let test_onion_four_segments_consistent () =
+  let r = Onion.download ~rng:(Rng.of_int 2) ~size:(2 * mb) () in
+  let data_down = Trace.total_payload r.Onion.server_to_exit in
+  let acked_up = Trace.max_ack r.Onion.exit_to_server in
+  let data_client = Trace.total_payload r.Onion.guard_to_client in
+  let acked_client = Trace.max_ack r.Onion.client_to_guard in
+  (* server-side bytes (raw) vs client-side bytes (cell-packed): within
+     ~6% of each other, and acks track data on each side *)
+  check_bool "server data ~ acked" true
+    (Float.abs (float_of_int (data_down - acked_up)) /. float_of_int acked_up < 0.05);
+  check_bool "client data ~ acked" true
+    (Float.abs (float_of_int (data_client - acked_client))
+     /. float_of_int acked_client < 0.05);
+  let ratio = float_of_int data_client /. float_of_int data_down in
+  check_bool "cell overhead ~ 514/498" true (ratio > 1.0 && ratio < 1.1)
+
+let test_onion_upload () =
+  let r = Onion.upload ~rng:(Rng.of_int 3) ~size:(1 * mb) () in
+  check_bool "completed" true r.Onion.completed;
+  (* in an upload the client->guard direction carries the data *)
+  check_bool "upstream carries data" true
+    (Trace.total_payload r.Onion.client_to_guard
+     > Trace.total_payload r.Onion.guard_to_client)
+
+let test_onion_rejects () =
+  check_bool "size 0 rejected" true
+    (try ignore (Onion.download ~rng:(Rng.of_int 4) ~size:0 ()); false
+     with Invalid_argument _ -> true)
+
+let test_onion_bursty_download () =
+  let r =
+    Onion.download ~rng:(Rng.of_int 9) ~burst:(200 * 1024, 1.0)
+      ~size:(2 * mb) ()
+  in
+  check_bool "bursty download completes" true r.Onion.completed;
+  (* the burst gaps must show in the trace: some near-idle 100ms bins *)
+  let series =
+    Trace.bytes_sent_series r.Onion.server_to_exit ~bin:0.1
+      ~duration:r.Onion.finish_time
+  in
+  let idle = Array.fold_left (fun acc b -> if b < 1460. then acc + 1 else acc) 0 series in
+  check_bool "transfer has idle gaps" true (idle > 2)
+
+let test_onion_start_delay () =
+  let r = Onion.download ~rng:(Rng.of_int 10) ~start_delay:2.0 ~size:mb () in
+  check_bool "completes" true r.Onion.completed;
+  (match Trace.observations r.Onion.client_to_guard with
+   | first :: _ -> check_bool "nothing before the delay" true (first.Trace.time >= 2.0)
+   | [] -> Alcotest.fail "no observations")
+
+let test_onion_deterministic () =
+  let run () =
+    let r = Onion.download ~rng:(Rng.of_int 5) ~size:mb () in
+    (r.Onion.finish_time, r.Onion.client_received)
+  in
+  check_bool "same seed same transfer" true (run () = run ())
+
+let prop_tcp_byte_conservation =
+  QCheck.Test.make ~name:"tcp conserves bytes under loss" ~count:10
+    QCheck.(pair (int_bound 1000) (int_range 1 400))
+    (fun (seed, kb) ->
+       let size = kb * 1024 in
+       let net, ca, cb = tcp_pair ~loss:0.01 ~jitter:0.002 (seed + 100) in
+       Tcp.send ca size;
+       Netsim.run ~until:600. net;
+       Tcp.bytes_delivered cb = size && Tcp.bytes_acked ca = size)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "qs_traffic"
+    [ ("netsim",
+       [ Alcotest.test_case "delivery and latency" `Quick test_netsim_delivery_and_latency;
+         Alcotest.test_case "fifo no reorder" `Quick test_netsim_fifo_no_reorder;
+         Alcotest.test_case "loss" `Quick test_netsim_loss;
+         Alcotest.test_case "tap before loss" `Quick test_netsim_tap_sees_everything;
+         Alcotest.test_case "timers" `Quick test_netsim_timers;
+         Alcotest.test_case "run until" `Quick test_netsim_run_until;
+         Alcotest.test_case "rejects" `Quick test_netsim_rejects ]);
+      ("tcp",
+       [ Alcotest.test_case "delivers exact bytes" `Quick test_tcp_delivers_exact_bytes;
+         Alcotest.test_case "bidirectional" `Quick test_tcp_bidirectional;
+         Alcotest.test_case "survives loss" `Quick test_tcp_survives_loss;
+         Alcotest.test_case "acks cumulative monotone" `Quick
+           test_tcp_acks_cumulative_monotone;
+         Alcotest.test_case "respects rwnd" `Quick test_tcp_respects_rwnd;
+         Alcotest.test_case "on_receive counts" `Quick test_tcp_on_receive_counts;
+         Alcotest.test_case "flow control stalls and resumes" `Quick
+           test_tcp_flow_control_stalls;
+         Alcotest.test_case "consume validation" `Quick
+           test_tcp_consume_rejects_negative ]
+       @ qsuite [ prop_tcp_byte_conservation ]);
+      ("trace",
+       [ Alcotest.test_case "series" `Quick test_trace_series;
+         Alcotest.test_case "rejects" `Quick test_trace_rejects ]);
+      ("onion",
+       [ Alcotest.test_case "download completes" `Quick test_onion_download_completes;
+         Alcotest.test_case "four segments consistent" `Quick
+           test_onion_four_segments_consistent;
+         Alcotest.test_case "upload" `Quick test_onion_upload;
+         Alcotest.test_case "rejects size 0" `Quick test_onion_rejects;
+         Alcotest.test_case "bursty download" `Quick test_onion_bursty_download;
+         Alcotest.test_case "start delay" `Quick test_onion_start_delay;
+         Alcotest.test_case "deterministic" `Quick test_onion_deterministic ]) ]
