@@ -234,7 +234,7 @@ let () =
         [ 0.; 0.001; 0.005; 0.02 ]);
 
   section "AB-guards" "ablation — guard-set size l" (fun () ->
-      let exposure = Option.map As_exposure.compute !measurement in
+      let exposure = Option.map (fun m -> As_exposure.compute m) !measurement in
       List.iter
         (fun l ->
            match exposure with
@@ -280,7 +280,7 @@ let () =
     let some_origin =
       match Addressing.announced small.Scenario.addressing with
       | (p, o) :: _ -> Announcement.originate o p
-      | [] -> assert false
+      | [] -> failwith "bench: scenario announced no prefixes"
     in
     let guard =
       Path_selection.pick_weighted ~rng (Consensus.guards small.Scenario.consensus)

@@ -268,6 +268,80 @@ let mrt_cmd =
        ~doc:"Simulate collector sessions and write their updates as an MRT file")
     Term.(const run $ seed $ scale $ hours $ out)
 
+let lint_cmd =
+  let run seed scale json rules fail_on max_prefixes no_determinism list_rules =
+    if list_rules then
+      List.iter
+        (fun (r : Diag.rule) ->
+           Format.printf "%-10s %-26s %-5s %s@." r.Diag.code r.Diag.slug
+             (Diag.severity_to_string r.Diag.severity) r.Diag.doc)
+        Lint.all_rules
+    else begin
+      if max_prefixes <= 0 then begin
+        Format.eprintf "quicksand: --max-prefixes must be positive@.";
+        Stdlib.exit 2
+      end;
+      (match rules with
+       | None -> ()
+       | Some sels ->
+           List.iter
+             (fun sel ->
+                if Lint.find_rule sel = None then begin
+                  Format.eprintf
+                    "quicksand: unknown lint rule %S (try --list-rules)@." sel;
+                  Stdlib.exit 2
+                end)
+             sels);
+      let s = Scenario.build ~seed scale in
+      if not json then
+        Format.printf "linting scenario: %d ASes, %d prefixes, %d relays (seed %d)@."
+          (As_graph.num_ases s.Scenario.graph)
+          (Addressing.count s.Scenario.addressing)
+          (Consensus.n_relays s.Scenario.consensus) seed;
+      let diags =
+        Lint.run ?rules ~max_prefixes ~determinism:(not no_determinism) s
+      in
+      if json then Diag.report_json fmt diags else Diag.report_text fmt diags;
+      let code = Diag.exit_code ~fail_on diags in
+      if code <> 0 then Stdlib.exit code
+    end
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit machine-readable JSON diagnostics instead of text.")
+  in
+  let rules =
+    Arg.(value & opt (some (list string)) None & info [ "rules" ] ~docv:"RULES"
+           ~doc:"Comma-separated rule selectors (codes like $(b,QS001), slugs \
+                 like $(b,valley-violation), or both combined); default all.")
+  in
+  let fail_on =
+    Arg.(value & opt (enum [ ("warn", Diag.Warn); ("error", Diag.Error) ])
+           Diag.Error
+         & info [ "fail-on" ] ~docv:"SEVERITY"
+             ~doc:"Exit non-zero if a diagnostic of at least this severity \
+                   is found: $(b,warn) or $(b,error).")
+  in
+  let max_prefixes =
+    Arg.(value & opt int 512 & info [ "max-prefixes" ] ~docv:"N"
+           ~doc:"Bound on announced prefixes whose routing tables are \
+                 recomputed and checked (evenly sampled beyond it).")
+  in
+  let no_determinism =
+    Arg.(value & flag & info [ "no-determinism" ]
+           ~doc:"Skip the QS301 rebuild-and-compare determinism check \
+                 (saves one scenario build).")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "list-rules" ]
+           ~doc:"Print the rule registry and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify routing-world invariants of a seeded scenario")
+    Term.(const run $ seed $ scale $ json $ rules $ fail_on $ max_prefixes
+          $ no_determinism $ list_rules)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -282,4 +356,4 @@ let () =
           [ dataset_cmd; concentration_cmd; path_changes_cmd; extra_ases_cmd;
             compromise_cmd; asym_cmd; hijack_cmd; intercept_cmd; defend_cmd;
             rov_cmd; asymmetry_cmd; long_term_cmd;
-            topology_cmd; consensus_cmd; mrt_cmd ]))
+            topology_cmd; consensus_cmd; mrt_cmd; lint_cmd ]))

@@ -91,7 +91,6 @@ type state = {
   pfxs : Prefix.t array;
   origins : Asn.t array;
   prepend : int array;
-  rate_multiplier : float array;
   current : Route.t option array array;  (* .(pfx).(session) *)
   previous : Route.t option array array; (* route before the last change *)
   pfx_of_origin : int list Asn.Table.t;
@@ -401,7 +400,6 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
   let st =
     { cfg; w; rng; sessions; pfxs; origins;
       prepend = Array.make n_pfx 0;
-      rate_multiplier;
       current = Array.make_matrix n_pfx (Array.length sessions) None;
       previous = Array.make_matrix n_pfx (Array.length sessions) None;
       pfx_of_origin; core_links;

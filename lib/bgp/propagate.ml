@@ -112,7 +112,7 @@ let offer t buckets ~v ~cand_cls ~cand_len ~cand_next ~cand_src =
 let rec last_exn = function
   | [ x ] -> x
   | _ :: rest -> last_exn rest
-  | [] -> assert false
+  | [] -> invalid_arg "Propagate: empty claimed path"
 
 let compute graph ?(failed = Link_set.empty) ?rov anns =
   (match anns with [] -> invalid_arg "Propagate.compute: no announcements" | _ -> ());

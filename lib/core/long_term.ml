@@ -98,7 +98,9 @@ let run ~rng ?(config = default_config) ?pool ?malicious (scenario : Scenario.t)
     let dest_ann =
       match Addressing.prefixes_of scenario.Scenario.addressing destination with
       | p :: _ -> Announcement.originate destination p
-      | [] -> assert false  (* every AS has prefixes by construction *)
+      | [] ->
+          (* every AS has prefixes by construction *)
+          invalid_arg "Long_term: destination AS originates no prefix"
     in
     let guards = ref (Path_selection.pick_guards ~rng consensus ~n:config.n_guards) in
     let guards_age = ref 0 in

@@ -1,7 +1,6 @@
 type key = { session : Update.session_id; prefix : Prefix.t }
 
 type acc = {
-  a_key : key;
   mutable a_baseline : Asn.Set.t option;
   mutable a_updates : int;
   mutable a_changes : int;
@@ -62,7 +61,7 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
     | Some a -> a
     | None ->
         let a =
-          { a_key = key; a_baseline = None; a_updates = 0; a_changes = 0;
+          { a_baseline = None; a_updates = 0; a_changes = 0;
             a_current = None; a_since = 0.;
             a_residency = Hashtbl.create 8 }
         in

@@ -36,6 +36,34 @@ let build ~seed size =
 
 let sessions t = Collector.all_sessions t.collectors
 
+let fingerprint t =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf (As_graph.to_caida_string t.graph);
+  Buffer.add_string buf (Consensus.to_string t.consensus);
+  List.iter
+    (fun (p, o) ->
+       Buffer.add_string buf (Prefix.to_string p);
+       Buffer.add_char buf ' ';
+       Buffer.add_string buf (Asn.to_string o);
+       Buffer.add_char buf '\n')
+    (Addressing.announced t.addressing);
+  List.iter
+    (fun (s : Collector.session) ->
+       Buffer.add_string buf s.Collector.id.Update.collector;
+       Buffer.add_char buf ' ';
+       Buffer.add_string buf (Asn.to_string s.Collector.id.Update.peer);
+       Buffer.add_char buf ' ';
+       Buffer.add_string buf (Ipv4.to_string s.Collector.peer_ip);
+       Buffer.add_char buf ' ';
+       Buffer.add_string buf
+         (match s.Collector.feed with
+          | Collector.Full -> "full"
+          | Collector.Customer_and_peer -> "customer+peer"
+          | Collector.Customer_only -> "customer");
+       Buffer.add_char buf '\n')
+    (sessions t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let rng_for t name =
   (* Derive a stream from the seed and the experiment name only, so that
      running experiments in any order gives identical results. *)

@@ -23,6 +23,12 @@ val build : seed:int -> size -> t
 
 val sessions : t -> Collector.session list
 
+val fingerprint : t -> string
+(** A digest over every externally-visible piece of the scenario —
+    topology, consensus, address plan, collector sessions. Two builds
+    from the same seed and size must produce equal fingerprints; the
+    [QS301] lint rule enforces exactly that. *)
+
 val rng_for : t -> string -> Rng.t
 (** A deterministic RNG stream for a named sub-experiment, independent of
     streams consumed while building the scenario. *)

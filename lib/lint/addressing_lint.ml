@@ -1,0 +1,133 @@
+let origin_mismatch =
+  { Diag.code = "QS201"; slug = "origin-mismatch";
+    severity = Diag.Error;
+    doc = "an announcement's origin is not the AS the address plan assigns \
+           the prefix to" }
+
+let roa_bounds =
+  { Diag.code = "QS202"; slug = "roa-bounds";
+    severity = Diag.Error;
+    doc = "a ROA's max_length is below its prefix length or above 32" }
+
+let moas_conflict =
+  { Diag.code = "QS203"; slug = "moas-conflict";
+    severity = Diag.Error;
+    doc = "the same prefix is listed with two different origins" }
+
+let relay_coverage =
+  { Diag.code = "QS204"; slug = "relay-coverage";
+    severity = Diag.Error;
+    doc = "a relay's address is unrouted or covered by another AS's prefix" }
+
+let rules = [ origin_mismatch; roa_bounds; moas_conflict; relay_coverage ]
+
+let check_announcement addressing (a : Announcement.t) =
+  let p = a.Announcement.prefix in
+  let ctx =
+    [ ("prefix", Prefix.to_string p);
+      ("origin", Asn.to_string a.Announcement.origin) ]
+  in
+  match Addressing.origin addressing p with
+  | Some owner when Asn.equal owner a.Announcement.origin -> []
+  | Some owner ->
+      [ Diag.msgf origin_mismatch
+          ~context:(("owner", Asn.to_string owner) :: ctx)
+          "%a announced by %a but the address plan assigns it to %a" Prefix.pp
+          p Asn.pp a.Announcement.origin Asn.pp owner ]
+  | None ->
+      [ Diag.msgf origin_mismatch ~context:ctx
+          "%a announced by %a but is not in the address plan" Prefix.pp p
+          Asn.pp a.Announcement.origin ]
+
+let check_roa (roa : Rpki.roa) =
+  let len = Prefix.length roa.Rpki.roa_prefix in
+  let ctx =
+    [ ("roa_prefix", Prefix.to_string roa.Rpki.roa_prefix);
+      ("max_length", string_of_int roa.Rpki.max_length);
+      ("authorized", Asn.to_string roa.Rpki.authorized) ]
+  in
+  if roa.Rpki.max_length < len then
+    [ Diag.msgf roa_bounds ~context:ctx
+        "ROA for %a has max_length %d below its prefix length %d" Prefix.pp
+        roa.Rpki.roa_prefix roa.Rpki.max_length len ]
+  else if roa.Rpki.max_length > 32 then
+    [ Diag.msgf roa_bounds ~context:ctx
+        "ROA for %a has max_length %d above 32" Prefix.pp roa.Rpki.roa_prefix
+        roa.Rpki.max_length ]
+  else []
+
+let check_origins listing =
+  let by_prefix = Prefix.Table.create (List.length listing) in
+  List.iter
+    (fun (p, o) ->
+       let prev = Option.value ~default:[] (Prefix.Table.find_opt by_prefix p) in
+       Prefix.Table.replace by_prefix p (o :: prev))
+    listing;
+  List.map fst listing
+  |> List.sort_uniq Prefix.compare
+  |> List.concat_map (fun p ->
+      let origins =
+        Prefix.Table.find_opt by_prefix p
+        |> Option.value ~default:[]
+        |> List.sort_uniq Asn.compare
+      in
+      match origins with
+      | [] | [ _ ] -> []
+      | many ->
+          [ Diag.msgf moas_conflict
+              ~context:
+                [ ("prefix", Prefix.to_string p);
+                  ("origins",
+                   String.concat " " (List.map Asn.to_string many)) ]
+              "%a is listed with %d different origins" Prefix.pp p
+              (List.length many) ])
+
+let check_relays addressing relays =
+  relays
+  |> List.concat_map (fun (r : Relay.t) ->
+      let ctx =
+        [ ("relay", r.Relay.nickname); ("ip", Ipv4.to_string r.Relay.ip);
+          ("as", Asn.to_string r.Relay.asn) ]
+      in
+      match Addressing.covering_prefix addressing r.Relay.ip with
+      | None ->
+          [ Diag.msgf relay_coverage ~context:ctx
+              "relay %s at %a is not covered by any announced prefix"
+              r.Relay.nickname Ipv4.pp r.Relay.ip ]
+      | Some (p, owner) when not (Asn.equal owner r.Relay.asn) ->
+          [ Diag.msgf relay_coverage
+              ~context:
+                (("covering", Prefix.to_string p)
+                 :: ("owner", Asn.to_string owner) :: ctx)
+              "relay %s at %a is hosted by %a but covered by %a's prefix %a"
+              r.Relay.nickname Ipv4.pp r.Relay.ip Asn.pp r.Relay.asn Asn.pp
+              owner Prefix.pp p ]
+      | Some _ -> [])
+
+let check addressing consensus =
+  let announced = Addressing.announced addressing in
+  (* The honest table itself: every listed (prefix, origin) must survive the
+     origin lookup and the trie — the two views every consumer uses. *)
+  let listing_diags =
+    announced
+    |> List.concat_map (fun (p, o) ->
+        check_announcement addressing (Announcement.originate o p)
+        @
+        match Prefix_trie.find p (Addressing.trie addressing) with
+        | Some o' when Asn.equal o o' -> []
+        | _ ->
+            [ Diag.msgf origin_mismatch
+                ~context:
+                  [ ("prefix", Prefix.to_string p); ("origin", Asn.to_string o) ]
+                "%a is in the announced listing but the trie disagrees"
+                Prefix.pp p ])
+  in
+  (* Full-deployment ROAs derived from the plan must be well-bounded. *)
+  let roa_diags =
+    announced
+    |> List.concat_map (fun (p, o) ->
+        check_roa
+          { Rpki.roa_prefix = p; max_length = Prefix.length p; authorized = o })
+  in
+  listing_diags @ roa_diags @ check_origins announced
+  @ check_relays addressing (Array.to_list consensus.Consensus.relays)

@@ -1,0 +1,41 @@
+(** Static analysis of the address plan and RPKI material: announcements
+    must originate from the AS that owns the prefix, ROAs must be
+    well-bounded, no prefix may have conflicting origins, and every Tor
+    relay must sit inside announced space.
+
+    A violation here skews every downstream number: a relay on an
+    unrouted prefix silently disappears from the attack surface, a
+    wrong-origin announcement is an accidental hijack baked into the
+    "honest" table. *)
+
+val origin_mismatch : Diag.rule
+(** [QS201]: an announcement's origin AS is not the AS the address plan
+    assigns the prefix to (or the prefix is not in the plan at all). *)
+
+val roa_bounds : Diag.rule
+(** [QS202]: a ROA's [max_length] is below its prefix length or above 32
+    — such a ROA authorizes nothing or everything. *)
+
+val moas_conflict : Diag.rule
+(** [QS203]: the same prefix is listed with two different origins
+    (multi-origin AS conflict) in the address plan. *)
+
+val relay_coverage : Diag.rule
+(** [QS204]: a relay's address is not covered by any announced prefix, or
+    its covering prefix belongs to a different AS than the consensus
+    claims hosts the relay. *)
+
+val rules : Diag.rule list
+
+val check_announcement : Addressing.t -> Announcement.t -> Diag.t list
+val check_roa : Rpki.roa -> Diag.t list
+
+val check_origins : (Prefix.t * Asn.t) list -> Diag.t list
+(** MOAS conflicts in an explicit (prefix, origin) listing. *)
+
+val check_relays : Addressing.t -> Relay.t list -> Diag.t list
+
+val check : Addressing.t -> Consensus.t -> Diag.t list
+(** All addressing analyzers over a scenario's address plan and
+    consensus, including trie/listing consistency and the full-deployment
+    ROA set derived from the plan. *)

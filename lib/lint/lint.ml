@@ -1,0 +1,49 @@
+let all_rules =
+  Routing_lint.rules @ Topology_lint.rules @ Addressing_lint.rules
+  @ Scenario_lint.rules
+
+let find_rule selector =
+  List.find_opt (fun r -> Diag.matches_rule r selector) all_rules
+
+let select ~rules diags =
+  let selected =
+    List.map
+      (fun selector ->
+         match find_rule selector with
+         | Some r -> r.Diag.code
+         | None ->
+             invalid_arg
+               (Printf.sprintf "Lint.select: unknown rule %S" selector))
+      rules
+  in
+  List.filter (fun d -> List.mem d.Diag.rule.Diag.code selected) diags
+
+(* Evenly-spaced deterministic sample: lint must not add randomness of its
+   own, or a clean run would not be reproducible. *)
+let sample_prefixes ~max_prefixes listing =
+  if max_prefixes <= 0 then
+    invalid_arg "Lint.sample_prefixes: max_prefixes must be positive";
+  let n = List.length listing in
+  if n <= max_prefixes then listing
+  else
+    let k = (n + max_prefixes - 1) / max_prefixes in
+    List.filteri (fun i _ -> i mod k = 0) listing
+
+let run ?rules ?(max_prefixes = 512) ?(determinism = true) (s : Scenario.t) =
+  let g = s.Scenario.graph in
+  let topology = Topology_lint.check g in
+  let routing =
+    sample_prefixes ~max_prefixes (Addressing.announced s.Scenario.addressing)
+    |> List.concat_map (fun (p, o) ->
+        let table =
+          Propagate.compute s.Scenario.indexed [ Announcement.originate o p ]
+        in
+        Routing_lint.check_table g table)
+  in
+  let addressing = Addressing_lint.check s.Scenario.addressing s.Scenario.consensus in
+  let scenario =
+    Scenario_lint.check_collectors g s.Scenario.addressing s.Scenario.collectors
+    @ (if determinism then Scenario_lint.check_determinism s else [])
+  in
+  let diags = routing @ topology @ addressing @ scenario in
+  match rules with None -> diags | Some rules -> select ~rules diags

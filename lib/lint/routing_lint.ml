@@ -1,0 +1,114 @@
+let valley_violation =
+  { Diag.code = "QS001"; slug = "valley-violation";
+    severity = Diag.Error;
+    doc = "a RIB path violates the Gao-Rexford valley-free export condition" }
+
+let as_path_loop =
+  { Diag.code = "QS002"; slug = "as-path-loop";
+    severity = Diag.Error;
+    doc = "an ASN appears twice (non-adjacently) on an AS path" }
+
+let next_hop_inconsistency =
+  { Diag.code = "QS003"; slug = "next-hop-inconsistency";
+    severity = Diag.Error;
+    doc = "an AS's next hop is not adjacent, unrouted, or disagrees on the \
+           winning announcement" }
+
+let rules = [ valley_violation; as_path_loop; next_hop_inconsistency ]
+
+let collapse_prepends path =
+  match path with
+  | [] -> []
+  | first :: rest ->
+      List.rev
+        (List.fold_left
+           (fun acc a ->
+              match acc with
+              | prev :: _ when Asn.equal prev a -> acc
+              | _ -> a :: acc)
+           [ first ] rest)
+
+let path_string path = String.concat " " (List.map Asn.to_string path)
+
+(* First ASN appearing twice in an already-collapsed path, if any. *)
+let find_loop path =
+  let rec go seen = function
+    | [] -> None
+    | a :: rest ->
+        if Asn.Set.mem a seen then Some a else go (Asn.Set.add a seen) rest
+  in
+  go Asn.Set.empty path
+
+let check_path g ~prefix path =
+  let walk = collapse_prepends path in
+  let ctx =
+    [ ("prefix", Prefix.to_string prefix); ("path", path_string path) ]
+  in
+  match find_loop walk with
+  | Some a ->
+      [ Diag.msgf as_path_loop ~context:(("repeated", Asn.to_string a) :: ctx)
+          "%a appears twice on the path for %a" Asn.pp a Prefix.pp prefix ]
+  | None ->
+      if List.length walk <= 1 || Paths.valley_free g walk then []
+      else
+        [ Diag.msgf valley_violation ~context:ctx
+            "path for %a is not valley-free" Prefix.pp prefix ]
+
+let check_route g (r : Route.t) =
+  check_path g ~prefix:r.Route.prefix r.Route.as_path
+
+let check_next_hops ~neighbor ~next_hop ~routed ases =
+  ases
+  |> List.concat_map (fun a ->
+      match next_hop a with
+      | None -> []
+      | Some nh ->
+          let ctx = [ ("as", Asn.to_string a); ("next_hop", Asn.to_string nh) ] in
+          if not (neighbor a nh) then
+            [ Diag.msgf next_hop_inconsistency ~context:ctx
+                "%a forwards to %a, which is not an adjacent AS" Asn.pp a
+                Asn.pp nh ]
+          else if not (routed nh) then
+            [ Diag.msgf next_hop_inconsistency ~context:ctx
+                "%a forwards to %a, which has no route" Asn.pp a Asn.pp nh ]
+          else [])
+
+let check_table g table =
+  let ases = As_graph.ases g in
+  let path_diags =
+    ases
+    |> List.concat_map (fun a ->
+        match Propagate.route_at table a with
+        | Some r -> check_route g r
+        | None -> [])
+  in
+  let nh_diags =
+    check_next_hops
+      ~neighbor:(fun a b -> As_graph.relationship g a b <> None)
+      ~next_hop:(Propagate.next_hop table)
+      ~routed:(Propagate.has_route table) ases
+  in
+  (* The next hop must have selected the same announcement as the AS it
+     serves: a route always descends from its next hop's route. *)
+  let src_diags =
+    ases
+    |> List.concat_map (fun a ->
+        match Propagate.next_hop table a with
+        | None -> []
+        | Some nh -> (
+            match
+              ( Propagate.winning_announcement table a,
+                Propagate.winning_announcement table nh )
+            with
+            | Some i, Some j when i <> j ->
+                [ Diag.msgf next_hop_inconsistency
+                    ~context:
+                      [ ("as", Asn.to_string a); ("next_hop", Asn.to_string nh);
+                        ("as_winner", string_of_int i);
+                        ("next_hop_winner", string_of_int j) ]
+                    "%a selected announcement %d but its next hop %a selected \
+                     %d"
+                    Asn.pp a i Asn.pp nh j ]
+            | _ -> []))
+  in
+  path_diags @ nh_diags @ src_diags

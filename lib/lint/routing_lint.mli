@@ -1,0 +1,49 @@
+(** Static analysis of computed BGP state: every path in a RIB must be
+    valley-free (Gao–Rexford export discipline), loop-free, and the
+    forwarding next-hops must be mutually consistent.
+
+    The checkers take explicit paths/routes rather than only a
+    {!Propagate.t}, so the test suite can inject forged violations (a
+    valley route, a looped AS path) and prove the rules fire. *)
+
+val valley_violation : Diag.rule
+(** [QS001]: an AS path violates the valley-free export condition —
+    uphill, at most one peering step, then downhill — or crosses an
+    unlinked AS pair. *)
+
+val as_path_loop : Diag.rule
+(** [QS002]: an ASN appears twice on a path at non-adjacent positions
+    (adjacent repeats are prepending, which is legitimate). BGP loop
+    detection should make this impossible in honest state. *)
+
+val next_hop_inconsistency : Diag.rule
+(** [QS003]: an AS's forwarding next hop is not an adjacent AS, has no
+    route itself, or selected a different announcement than the AS it
+    serves — traffic would be blackholed or misattributed. *)
+
+val rules : Diag.rule list
+
+val collapse_prepends : Asn.t list -> Asn.t list
+(** Removes adjacent duplicate ASNs: the path as walked, prepending
+    stripped. *)
+
+val check_path : As_graph.t -> prefix:Prefix.t -> Asn.t list -> Diag.t list
+(** Valley-freeness and loop-freeness of one AS path (receiver first,
+    origin last). If a loop is found, the valley check is skipped — a
+    looped path always also fails the relationship walk. *)
+
+val check_route : As_graph.t -> Route.t -> Diag.t list
+
+val check_next_hops :
+  neighbor:(Asn.t -> Asn.t -> bool) ->
+  next_hop:(Asn.t -> Asn.t option) ->
+  routed:(Asn.t -> bool) ->
+  Asn.t list -> Diag.t list
+(** Next-hop consistency over an abstract forwarding view, so violations
+    can be injected in tests. [neighbor a b] = adjacency, [next_hop a] =
+    where [a] forwards ([None] for origins and unrouted ASes), [routed a]
+    = whether [a] has any route. *)
+
+val check_table : As_graph.t -> Propagate.t -> Diag.t list
+(** All routing analyzers over one computed prefix table: every exported
+    path, plus next-hop and winning-announcement consistency. *)

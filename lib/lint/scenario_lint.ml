@@ -1,0 +1,65 @@
+let nondeterministic_build =
+  { Diag.code = "QS301"; slug = "nondeterministic-build";
+    severity = Diag.Error;
+    doc = "two Scenario.build calls with equal seeds produced different \
+           fingerprints" }
+
+let dead_collector_peer =
+  { Diag.code = "QS302"; slug = "dead-collector-peer";
+    severity = Diag.Error;
+    doc = "a collector session's peer AS is not in the topology" }
+
+let collector_peer_ip =
+  { Diag.code = "QS303"; slug = "collector-peer-ip";
+    severity = Diag.Warn;
+    doc = "a collector session's peer IP is outside the peer AS's address \
+           space" }
+
+let rules = [ nondeterministic_build; dead_collector_peer; collector_peer_ip ]
+
+let check_collectors g addressing collectors =
+  collectors
+  |> List.concat_map (fun (c : Collector.t) ->
+      c.Collector.sessions
+      |> List.concat_map (fun (s : Collector.session) ->
+          let peer = s.Collector.id.Update.peer in
+          let ctx =
+            [ ("collector", c.Collector.name); ("peer", Asn.to_string peer);
+              ("peer_ip", Ipv4.to_string s.Collector.peer_ip) ]
+          in
+          let liveness =
+            if As_graph.mem_as g peer then []
+            else
+              [ Diag.msgf dead_collector_peer ~context:ctx
+                  "%s session peers with %a, which is not in the topology"
+                  c.Collector.name Asn.pp peer ]
+          in
+          let ip =
+            match Addressing.covering_prefix addressing s.Collector.peer_ip with
+            | Some (_, owner) when Asn.equal owner peer -> []
+            | Some (p, owner) ->
+                [ Diag.msgf collector_peer_ip
+                    ~context:
+                      (("covering", Prefix.to_string p)
+                       :: ("owner", Asn.to_string owner) :: ctx)
+                    "%s session with %a sources from %a, inside %a's prefix"
+                    c.Collector.name Asn.pp peer Ipv4.pp s.Collector.peer_ip
+                    Asn.pp owner ]
+            | None ->
+                [ Diag.msgf collector_peer_ip ~context:ctx
+                    "%s session with %a sources from unrouted address %a"
+                    c.Collector.name Asn.pp peer Ipv4.pp s.Collector.peer_ip ]
+          in
+          liveness @ ip))
+
+let check_determinism (s : Scenario.t) =
+  let rebuilt = Scenario.build ~seed:s.Scenario.seed s.Scenario.size in
+  let fp = Scenario.fingerprint s and fp' = Scenario.fingerprint rebuilt in
+  if String.equal fp fp' then []
+  else
+    [ Diag.msgf nondeterministic_build
+        ~context:
+          [ ("seed", string_of_int s.Scenario.seed); ("first", fp);
+            ("second", fp') ]
+        "seed %d built two different scenarios (%s vs %s)" s.Scenario.seed fp
+        fp' ]

@@ -1,0 +1,116 @@
+let relationship_asymmetry =
+  { Diag.code = "QS101"; slug = "relationship-asymmetry";
+    severity = Diag.Error;
+    doc = "the two directions of a link disagree with Relationship.invert" }
+
+let graph_disconnected =
+  { Diag.code = "QS102"; slug = "graph-disconnected";
+    severity = Diag.Error;
+    doc = "the AS graph is not a single connected component" }
+
+let provider_cycle =
+  { Diag.code = "QS103"; slug = "provider-cycle";
+    severity = Diag.Error;
+    doc = "the customer->provider digraph contains a cycle" }
+
+let tier_sanity =
+  { Diag.code = "QS104"; slug = "tier-sanity";
+    severity = Diag.Warn;
+    doc = "an AS's tier metadata contradicts its link structure" }
+
+let rules =
+  [ relationship_asymmetry; graph_disconnected; provider_cycle; tier_sanity ]
+
+let check_symmetry g =
+  As_graph.ases g
+  |> List.concat_map (fun a ->
+      As_graph.neighbors g a
+      |> List.filter_map (fun (b, rel) ->
+          if Asn.compare a b >= 0 then None
+          else
+            let expected = Relationship.invert rel in
+            match As_graph.relationship g b a with
+            | Some rel' when Relationship.equal rel' expected -> None
+            | Some rel' ->
+                Some
+                  (Diag.msgf relationship_asymmetry
+                     ~context:
+                       [ ("a", Asn.to_string a); ("b", Asn.to_string b);
+                         ("a_sees", Relationship.to_string rel);
+                         ("b_sees", Relationship.to_string rel') ]
+                     "link %a--%a: %a sees a %s but %a sees a %s (expected %s)"
+                     Asn.pp a Asn.pp b Asn.pp a (Relationship.to_string rel)
+                     Asn.pp b (Relationship.to_string rel')
+                     (Relationship.to_string expected))
+            | None ->
+                Some
+                  (Diag.msgf relationship_asymmetry
+                     ~context:[ ("a", Asn.to_string a); ("b", Asn.to_string b) ]
+                     "link %a--%a exists for %a but not for %a" Asn.pp a
+                     Asn.pp b Asn.pp a Asn.pp b)))
+
+let check_connectivity g =
+  if Paths.connected g then []
+  else
+    [ Diag.msgf graph_disconnected
+        ~context:[ ("ases", string_of_int (As_graph.num_ases g)) ]
+        "the %d-AS graph is not connected" (As_graph.num_ases g) ]
+
+(* DFS over customer->provider edges with the classic three colours; a
+   back-edge to an in-progress AS closes a payment cycle. One diagnostic
+   per back-edge found. *)
+let check_provider_acyclicity g =
+  let state = Asn.Table.create (As_graph.num_ases g) in
+  let diags = ref [] in
+  let rec visit stack a =
+    match Asn.Table.find_opt state a with
+    | Some `Done -> ()
+    | Some `Active ->
+        let rec cycle acc = function
+          | [] -> List.rev acc
+          | x :: rest ->
+              if Asn.equal x a then List.rev (x :: acc) else cycle (x :: acc) rest
+        in
+        let members = cycle [] stack @ [ a ] in
+        diags :=
+          Diag.msgf provider_cycle
+            ~context:
+              [ ("cycle",
+                 String.concat " -> " (List.map Asn.to_string members)) ]
+            "provider cycle through %a (%d ASes pay each other in a loop)"
+            Asn.pp a (List.length members - 1)
+          :: !diags
+    | None ->
+        Asn.Table.replace state a `Active;
+        List.iter (visit (a :: stack)) (As_graph.providers g a);
+        Asn.Table.replace state a `Done
+  in
+  List.iter (visit []) (As_graph.ases g);
+  List.rev !diags
+
+let check_tiers g =
+  As_graph.ases g
+  |> List.concat_map (fun a ->
+      let info = As_graph.info g a in
+      let ctx = [ ("as", Asn.to_string a); ("name", info.As_graph.name) ] in
+      match info.As_graph.tier with
+      | As_graph.Tier1 ->
+          if As_graph.providers g a = [] then []
+          else
+            [ Diag.msgf tier_sanity ~context:ctx
+                "Tier-1 %a has a provider (the core is default-free)" Asn.pp a ]
+      | As_graph.Stub ->
+          if As_graph.customers g a = [] then []
+          else
+            [ Diag.msgf tier_sanity ~context:ctx
+                "stub %a has %d customer(s) (stubs sit at the edge)" Asn.pp a
+                (List.length (As_graph.customers g a)) ]
+      | As_graph.Transit ->
+          if As_graph.customers g a <> [] then []
+          else
+            [ Diag.msgf tier_sanity ~context:ctx
+                "transit %a has no customers" Asn.pp a ])
+
+let check g =
+  check_symmetry g @ check_connectivity g @ check_provider_acyclicity g
+  @ check_tiers g

@@ -1,0 +1,33 @@
+(** Static analysis of an AS topology: structural invariants the routing
+    model (and every number derived from it) silently assumes.
+
+    These run on a bare {!As_graph.t} — no traffic, no RIBs — so they are
+    cheap enough to gate every generated scenario. *)
+
+val relationship_asymmetry : Diag.rule
+(** [QS101]: the two directions of a link must agree with
+    {!Relationship.invert} — if [b] is [a]'s customer, [a] must be [b]'s
+    provider. *)
+
+val graph_disconnected : Diag.rule
+(** [QS102]: the topology must be one connected component; an unreachable
+    island would make compromise probabilities meaningless. *)
+
+val provider_cycle : Diag.rule
+(** [QS103]: the customer→provider digraph must be acyclic (Gao–Rexford
+    assumes a provider hierarchy; a cycle of "everyone pays everyone" can
+    make valley-free route propagation non-terminating in real BGP). *)
+
+val tier_sanity : Diag.rule
+(** [QS104]: tier metadata must match link structure — a Tier-1 has no
+    provider, a stub has no customers, a transit should have customers. *)
+
+val rules : Diag.rule list
+
+val check_symmetry : As_graph.t -> Diag.t list
+val check_connectivity : As_graph.t -> Diag.t list
+val check_provider_acyclicity : As_graph.t -> Diag.t list
+val check_tiers : As_graph.t -> Diag.t list
+
+val check : As_graph.t -> Diag.t list
+(** All topology analyzers, in rule-code order. *)

@@ -99,18 +99,16 @@ let run ?(until = infinity) t =
     | Some key when key > until ->
         t.time <- until;
         continue := false
-    | Some _ ->
-        let time, ev =
-          match Pqueue.pop t.queue with
-          | Some entry -> entry
-          | None -> assert false
-        in
-        t.time <- time;
-        (match ev with
-         | Deliver (node, packet) -> begin
-             match t.handlers.(node) with
-             | Some h -> h t packet
-             | None -> ()
-           end
-         | Timer f -> f t)
+    | Some _ -> (
+        match Pqueue.pop t.queue with
+        | None -> continue := false
+        | Some (time, ev) ->
+            t.time <- time;
+            (match ev with
+             | Deliver (node, packet) -> begin
+                 match t.handlers.(node) with
+                 | Some h -> h t packet
+                 | None -> ()
+               end
+             | Timer f -> f t))
   done

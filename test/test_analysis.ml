@@ -209,7 +209,7 @@ let prop_trace_acked_consistent =
        let total = Array.fold_left ( +. ) 0. series in
        Float.abs (total -. float_of_int (Trace.max_ack t)) < 0.5)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest
+let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let () =
   Alcotest.run "qs_analysis"

@@ -368,6 +368,37 @@ let test_rpki_validation () =
                      authorized = asn 1 }); false
      with Invalid_argument _ -> true)
 
+let test_add_roa_bounds () =
+  let roa max_length =
+    { Rpki.roa_prefix = pfx "10.0.0.0/16"; max_length; authorized = asn 1 }
+  in
+  let rejects ml =
+    try ignore (Rpki.add_roa Rpki.empty (roa ml)); false
+    with Invalid_argument _ -> true
+  in
+  (* boundaries: exactly the prefix length and exactly /32 are legal *)
+  check_int "max_length = length accepted" 1 (Rpki.size (Rpki.add_roa Rpki.empty (roa 16)));
+  check_int "max_length = 32 accepted" 1 (Rpki.size (Rpki.add_roa Rpki.empty (roa 32)));
+  check_bool "max_length below length rejected" true (rejects 15);
+  check_bool "max_length above 32 rejected" true (rejects 33);
+  check_bool "negative max_length rejected" true (rejects (-1));
+  (* a /32 ROA leaves no slack: only max_length 32 works *)
+  let host_roa ml =
+    { Rpki.roa_prefix = pfx "10.0.0.1/32"; max_length = ml; authorized = asn 1 }
+  in
+  check_int "host ROA accepted" 1 (Rpki.size (Rpki.add_roa Rpki.empty (host_roa 32)));
+  check_bool "host ROA max_length 31 rejected" true
+    (try ignore (Rpki.add_roa Rpki.empty (host_roa 31)); false
+     with Invalid_argument _ -> true);
+  (* max_length slack widens what validates, never the origin *)
+  let t = Rpki.add_roa Rpki.empty (roa 24) in
+  check_bool "more-specific within slack valid" true
+    (Rpki.validate t (pfx "10.0.1.0/24") (asn 1) = Rpki.Valid);
+  check_bool "beyond slack invalid" true
+    (Rpki.validate t (pfx "10.0.1.0/25") (asn 1) = Rpki.Invalid);
+  check_bool "slack does not authorize another origin" true
+    (Rpki.validate t (pfx "10.0.1.0/24") (asn 2) = Rpki.Invalid)
+
 let test_rov_blocks_origin_hijack () =
   (* diamond: victim 4 announces; attacker 1 hijacks; with ROV at 2 and 3
      the hijack goes nowhere because 1's bogus origin is Invalid. *)
@@ -716,7 +747,7 @@ let prop_propagate_failure_valley_free =
                     not (uses path)))
          (Array.to_list ases))
 
-let qsuite = List.map QCheck_alcotest.to_alcotest
+let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let () =
   Alcotest.run "qs_bgp"
@@ -754,6 +785,7 @@ let () =
       ("rpki",
        (qsuite [ prop_rov_noop_when_valid ])
        @ [ Alcotest.test_case "validation semantics" `Quick test_rpki_validation;
+         Alcotest.test_case "add_roa bounds" `Quick test_add_roa_bounds;
          Alcotest.test_case "ROV blocks origin hijack" `Quick
            test_rov_blocks_origin_hijack;
          Alcotest.test_case "ROV spares forged origin" `Quick

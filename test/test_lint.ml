@@ -1,0 +1,326 @@
+(* Tests for qs_lint: the diagnostics framework, each analyzer firing on an
+   injected violation (forged valley route, looped AS path, wrong-origin
+   announcement, over-long ROA, ...), and the clean-scenario pass. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let asn = Asn.of_int
+let pfx = Prefix.of_string
+
+let codes diags = List.map (fun d -> d.Diag.rule.Diag.code) diags
+
+let fires code diags = List.mem code (codes diags)
+
+let stub_info name =
+  { As_graph.name; tier = As_graph.Stub; hosting_weight = 0. }
+
+(* A small valley-free-checkable graph: 10 is 11's provider, 10 -- 20 peer,
+   20 is 21's provider, 6 is a second provider of 11. *)
+let diamond () =
+  let g = As_graph.create () in
+  List.iter (fun i -> As_graph.add_as g (asn i) (stub_info "")) [ 6; 10; 11; 20; 21 ];
+  As_graph.add_provider_customer g ~provider:(asn 10) ~customer:(asn 11);
+  As_graph.add_peering g (asn 10) (asn 20);
+  As_graph.add_provider_customer g ~provider:(asn 20) ~customer:(asn 21);
+  As_graph.add_provider_customer g ~provider:(asn 6) ~customer:(asn 11);
+  g
+
+(* ---- Diag ------------------------------------------------------------ *)
+
+let some_rule =
+  { Diag.code = "QS999"; slug = "test-rule"; severity = Diag.Warn;
+    doc = "only for tests" }
+
+let test_diag_exit_code () =
+  let w = Diag.make some_rule "a warning" in
+  let e = Diag.make { some_rule with Diag.severity = Diag.Error } "an error" in
+  check_int "no diags" 0 (Diag.exit_code ~fail_on:Diag.Warn []);
+  check_int "warn under error policy" 0 (Diag.exit_code ~fail_on:Diag.Error [ w ]);
+  check_int "warn under warn policy" 1 (Diag.exit_code ~fail_on:Diag.Warn [ w ]);
+  check_int "error under error policy" 1 (Diag.exit_code ~fail_on:Diag.Error [ w; e ])
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_diag_json () =
+  let d =
+    Diag.make some_rule ~context:[ ("k", "va\"lue") ] "a \"quoted\"\nmessage"
+  in
+  let s = Format.asprintf "%a" (fun ppf -> Diag.report_json ppf) [ d ] in
+  check_bool "escapes quotes" true (contains ~needle:{|a \"quoted\"\nmessage|} s);
+  check_bool "has code" true (contains ~needle:{|"code":"QS999"|} s);
+  check_bool "has context" true (contains ~needle:{|"k":"va\"lue"|} s)
+
+let test_rule_lookup () =
+  check_bool "by code" true
+    (match Lint.find_rule "QS001" with
+     | Some r -> r.Diag.slug = "valley-violation"
+     | None -> false);
+  check_bool "by slug" true
+    (match Lint.find_rule "valley-violation" with
+     | Some r -> r.Diag.code = "QS001"
+     | None -> false);
+  check_bool "by combined id" true
+    (match Lint.find_rule "QS001-valley-violation" with
+     | Some r -> r.Diag.code = "QS001"
+     | None -> false);
+  check_bool "unknown" true (Lint.find_rule "QS000" = None);
+  (* codes are unique *)
+  let cs = List.map (fun r -> r.Diag.code) Lint.all_rules in
+  check_int "codes unique" (List.length cs) (List.length (List.sort_uniq compare cs))
+
+(* ---- Routing analyzers ---------------------------------------------- *)
+
+let test_valley_route_fires () =
+  let g = diamond () in
+  (* 6 -> 11 -> 10: a provider-learned route exported uphill — the classic
+     valley. Origin last, as on a Route.t. *)
+  let route = Route.make (pfx "10.0.0.0/8") [ asn 6; asn 11; asn 10 ] in
+  let diags = Routing_lint.check_route g route in
+  check_bool "QS001 fires" true (fires "QS001" diags);
+  (* the legitimate up-peer-down path is clean *)
+  check_int "clean path" 0
+    (List.length
+       (Routing_lint.check_path g ~prefix:(pfx "10.0.0.0/8")
+          [ asn 21; asn 20; asn 10; asn 11 ]))
+
+let test_peer_peer_valley_fires () =
+  let g = diamond () in
+  (* peer-learned route exported across a second peering-ish hop: 21-20-10-11-6
+     ends with 11 -> 6 uphill after a peering step *)
+  let diags =
+    Routing_lint.check_path g ~prefix:(pfx "10.0.0.0/8")
+      [ asn 21; asn 20; asn 10; asn 11; asn 6 ]
+  in
+  check_bool "QS001 fires" true (fires "QS001" diags)
+
+let test_looped_path_fires () =
+  let g = diamond () in
+  let diags =
+    Routing_lint.check_path g ~prefix:(pfx "10.0.0.0/8")
+      [ asn 10; asn 11; asn 10; asn 11 ]
+  in
+  check_bool "QS002 fires" true (fires "QS002" diags);
+  check_bool "QS001 suppressed on loops" false (fires "QS001" diags)
+
+let test_prepending_is_not_a_loop () =
+  let g = diamond () in
+  (* adjacent repeats are prepending: 11 announced with prepend 2 *)
+  let diags =
+    Routing_lint.check_path g ~prefix:(pfx "10.0.0.0/8")
+      [ asn 10; asn 11; asn 11; asn 11 ]
+  in
+  check_int "clean" 0 (List.length diags)
+
+let test_next_hop_inconsistency_fires () =
+  let neighbor a b = Asn.to_int a + 1 = Asn.to_int b in
+  let routed a = Asn.to_int a <> 3 in
+  (* 1 forwards to its neighbor 2: fine. 2 forwards to unrouted 3: fires.
+     4 forwards to non-adjacent 6: fires. *)
+  let next_hop a =
+    match Asn.to_int a with
+    | 1 -> Some (asn 2)
+    | 2 -> Some (asn 3)
+    | 4 -> Some (asn 6)
+    | _ -> None
+  in
+  let diags =
+    Routing_lint.check_next_hops ~neighbor ~next_hop ~routed
+      [ asn 1; asn 2; asn 4; asn 5 ]
+  in
+  check_int "two findings" 2 (List.length diags);
+  check_bool "QS003 fires" true (fires "QS003" diags)
+
+let test_computed_table_is_clean () =
+  let g = diamond () in
+  let ix = As_graph.Indexed.of_graph g in
+  let table =
+    Propagate.compute ix [ Announcement.originate (asn 11) (pfx "10.0.0.0/8") ]
+  in
+  check_int "clean table" 0 (List.length (Routing_lint.check_table g table))
+
+(* ---- Topology analyzers --------------------------------------------- *)
+
+let test_provider_cycle_fires () =
+  let g = As_graph.create () in
+  List.iter (fun i -> As_graph.add_as g (asn i) (stub_info "")) [ 1; 2; 3 ];
+  As_graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 2);
+  As_graph.add_provider_customer g ~provider:(asn 2) ~customer:(asn 3);
+  As_graph.add_provider_customer g ~provider:(asn 3) ~customer:(asn 1);
+  let diags = Topology_lint.check_provider_acyclicity g in
+  check_bool "QS103 fires" true (fires "QS103" diags);
+  check_int "acyclic diamond clean" 0
+    (List.length (Topology_lint.check_provider_acyclicity (diamond ())))
+
+let test_disconnected_fires () =
+  let g = As_graph.create () in
+  As_graph.add_as g (asn 1) (stub_info "");
+  As_graph.add_as g (asn 2) (stub_info "");
+  check_bool "QS102 fires" true (fires "QS102" (Topology_lint.check_connectivity g));
+  check_int "connected graph clean" 0
+    (List.length (Topology_lint.check_connectivity (diamond ())))
+
+let test_tier_sanity_fires () =
+  let g = As_graph.create () in
+  As_graph.add_as g (asn 1)
+    { As_graph.name = "t1"; tier = As_graph.Tier1; hosting_weight = 0. };
+  As_graph.add_as g (asn 2) (stub_info "stub-with-customer");
+  As_graph.add_as g (asn 3) (stub_info "plain");
+  (* Tier-1 with a provider, and a stub with a customer *)
+  As_graph.add_provider_customer g ~provider:(asn 2) ~customer:(asn 1);
+  As_graph.add_provider_customer g ~provider:(asn 2) ~customer:(asn 3);
+  let diags = Topology_lint.check_tiers g in
+  check_bool "QS104 fires" true (fires "QS104" diags);
+  check_int "both findings" 2 (List.length diags)
+
+let test_symmetry_clean () =
+  check_int "generated graph symmetric" 0
+    (List.length
+       (Topology_lint.check_symmetry
+          (Topo_gen.generate ~rng:(Rng.of_int 5) Topo_gen.small_params)))
+
+(* ---- Addressing / RPKI analyzers ------------------------------------ *)
+
+let small_addressing seed =
+  let g = Topo_gen.generate ~rng:(Rng.of_int seed) Topo_gen.small_params in
+  (g, Addressing.allocate ~rng:(Rng.of_int seed) g)
+
+let test_wrong_origin_fires () =
+  let _, addressing = small_addressing 21 in
+  let p, owner = List.hd (Addressing.announced addressing) in
+  let wrong = asn (Asn.to_int owner + 1) in
+  let diags =
+    Addressing_lint.check_announcement addressing (Announcement.originate wrong p)
+  in
+  check_bool "QS201 fires" true (fires "QS201" diags);
+  check_int "honest announcement clean" 0
+    (List.length
+       (Addressing_lint.check_announcement addressing
+          (Announcement.originate owner p)))
+
+let test_unknown_prefix_fires () =
+  let _, addressing = small_addressing 22 in
+  let diags =
+    Addressing_lint.check_announcement addressing
+      (Announcement.originate (asn 1) (pfx "203.0.113.0/24"))
+  in
+  check_bool "QS201 fires" true (fires "QS201" diags)
+
+let test_overlong_roa_fires () =
+  let roa p max_length =
+    { Rpki.roa_prefix = pfx p; max_length; authorized = asn 5 }
+  in
+  check_bool "max_length 40 fires QS202" true
+    (fires "QS202" (Addressing_lint.check_roa (roa "10.0.0.0/16" 40)));
+  check_bool "max_length below length fires QS202" true
+    (fires "QS202" (Addressing_lint.check_roa (roa "10.0.0.0/16" 8)));
+  check_int "exact-length ROA clean" 0
+    (List.length (Addressing_lint.check_roa (roa "10.0.0.0/16" 16)));
+  check_int "max_length 32 clean" 0
+    (List.length (Addressing_lint.check_roa (roa "10.0.0.0/16" 32)))
+
+let test_moas_conflict_fires () =
+  let p = pfx "192.0.2.0/24" in
+  let diags = Addressing_lint.check_origins [ (p, asn 1); (p, asn 2) ] in
+  check_bool "QS203 fires" true (fires "QS203" diags);
+  check_int "consistent listing clean" 0
+    (List.length
+       (Addressing_lint.check_origins [ (p, asn 1); (pfx "198.51.100.0/24", asn 2) ]))
+
+let test_unrouted_relay_fires () =
+  let _, addressing = small_addressing 23 in
+  let relay =
+    Relay.make ~nickname:"ghost" ~ip:(Ipv4.of_octets 240 0 0 1) ~asn:(asn 1)
+      ~bandwidth:1000 ~flags:[ Relay.Guard ]
+  in
+  let diags = Addressing_lint.check_relays addressing [ relay ] in
+  check_bool "QS204 fires" true (fires "QS204" diags)
+
+(* ---- Scenario analyzers --------------------------------------------- *)
+
+let test_dead_collector_peer_fires () =
+  let g, addressing = small_addressing 24 in
+  let ghost = asn 64999 in
+  check_bool "ghost not in graph" false (As_graph.mem_as g ghost);
+  let collector =
+    { Collector.name = "rrc99";
+      sessions =
+        [ { Collector.id = { Update.collector = "rrc99"; peer = ghost };
+            peer_ip = Ipv4.of_octets 192 0 2 1;
+            feed = Collector.Full } ] }
+  in
+  let diags = Scenario_lint.check_collectors g addressing [ collector ] in
+  check_bool "QS302 fires" true (fires "QS302" diags);
+  check_bool "QS303 fires for the documentation IP" true (fires "QS303" diags)
+
+(* ---- Whole-scenario driver ------------------------------------------ *)
+
+let scenario = lazy (Scenario.build ~seed:1 Scenario.Small)
+
+let test_clean_scenario_no_errors () =
+  let diags = Lint.run (Lazy.force scenario) in
+  let errs = List.filter (fun d -> d.Diag.rule.Diag.severity = Diag.Error) diags in
+  List.iter (fun d -> Format.eprintf "unexpected: %a@." Diag.pp d) errs;
+  check_int "zero errors on a clean scenario" 0 (List.length errs);
+  check_int "exit code 0" 0 (Diag.exit_code ~fail_on:Diag.Error diags)
+
+let test_fingerprint_deterministic () =
+  let s1 = Lazy.force scenario in
+  let s2 = Scenario.build ~seed:1 Scenario.Small in
+  Alcotest.(check string) "equal fingerprints" (Scenario.fingerprint s1)
+    (Scenario.fingerprint s2);
+  check_bool "different seeds differ" false
+    (String.equal
+       (Scenario.fingerprint s1)
+       (Scenario.fingerprint (Scenario.build ~seed:2 Scenario.Small)));
+  check_int "QS301 silent" 0
+    (List.length (Scenario_lint.check_determinism s1))
+
+let test_rule_selection () =
+  let s = Lazy.force scenario in
+  let diags = Lint.run ~rules:[ "QS104"; "valley-violation" ] ~determinism:false s in
+  check_bool "only selected rules" true
+    (List.for_all (fun d -> List.mem d.Diag.rule.Diag.code [ "QS104"; "QS001" ]) diags);
+  check_bool "unknown selector rejected" true
+    (try ignore (Lint.select ~rules:[ "QS000" ] []); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "qs_lint"
+    [ ("diag",
+       [ Alcotest.test_case "exit code policy" `Quick test_diag_exit_code;
+         Alcotest.test_case "json escaping" `Quick test_diag_json;
+         Alcotest.test_case "rule lookup" `Quick test_rule_lookup ]);
+      ("routing",
+       [ Alcotest.test_case "valley route fires" `Quick test_valley_route_fires;
+         Alcotest.test_case "peer-peer valley fires" `Quick
+           test_peer_peer_valley_fires;
+         Alcotest.test_case "looped path fires" `Quick test_looped_path_fires;
+         Alcotest.test_case "prepending is not a loop" `Quick
+           test_prepending_is_not_a_loop;
+         Alcotest.test_case "next-hop inconsistency fires" `Quick
+           test_next_hop_inconsistency_fires;
+         Alcotest.test_case "computed table clean" `Quick
+           test_computed_table_is_clean ]);
+      ("topology",
+       [ Alcotest.test_case "provider cycle fires" `Quick test_provider_cycle_fires;
+         Alcotest.test_case "disconnected fires" `Quick test_disconnected_fires;
+         Alcotest.test_case "tier sanity fires" `Quick test_tier_sanity_fires;
+         Alcotest.test_case "generated graph symmetric" `Quick test_symmetry_clean ]);
+      ("addressing",
+       [ Alcotest.test_case "wrong origin fires" `Quick test_wrong_origin_fires;
+         Alcotest.test_case "unknown prefix fires" `Quick test_unknown_prefix_fires;
+         Alcotest.test_case "over-long ROA fires" `Quick test_overlong_roa_fires;
+         Alcotest.test_case "MOAS conflict fires" `Quick test_moas_conflict_fires;
+         Alcotest.test_case "unrouted relay fires" `Quick test_unrouted_relay_fires ]);
+      ("scenario",
+       [ Alcotest.test_case "dead collector peer fires" `Quick
+           test_dead_collector_peer_fires;
+         Alcotest.test_case "clean scenario: no errors" `Quick
+           test_clean_scenario_no_errors;
+         Alcotest.test_case "fingerprint deterministic" `Quick
+           test_fingerprint_deterministic;
+         Alcotest.test_case "rule selection" `Quick test_rule_selection ]) ]

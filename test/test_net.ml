@@ -310,7 +310,7 @@ let prop_pqueue_sorts =
        let out = List.map fst (Pqueue.drain q) in
        out = List.sort Float.compare keys)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest
+let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let () =
   Alcotest.run "qs_net"

@@ -29,6 +29,41 @@ let test_export_rules () =
   check_bool "prov->peer" false (export_allowed ~learned_from:Provider ~to_:Peer);
   check_bool "prov->prov" false (export_allowed ~learned_from:Provider ~to_:Provider)
 
+let test_export_characterization () =
+  (* The Gao rule in one sentence: a route crosses a link iff someone pays
+     for it — export is allowed exactly when one side is a customer. *)
+  let all = [ Relationship.Customer; Relationship.Provider; Relationship.Peer ] in
+  List.iter
+    (fun learned_from ->
+       List.iter
+         (fun to_ ->
+            let expected =
+              Relationship.equal learned_from Relationship.Customer
+              || Relationship.equal to_ Relationship.Customer
+            in
+            check_bool
+              (Printf.sprintf "%s->%s"
+                 (Relationship.to_string learned_from)
+                 (Relationship.to_string to_))
+              expected
+              (Relationship.export_allowed ~learned_from ~to_))
+         all)
+    all;
+  (* invert is an involution, and export is not symmetric under it: a
+     customer-learned route goes to a provider, but a provider-learned
+     route must not go to a provider. *)
+  List.iter
+    (fun r ->
+       check_bool "invert involution" true
+         (Relationship.equal (Relationship.invert (Relationship.invert r)) r))
+    all;
+  check_bool "asymmetry under invert" true
+    (Relationship.export_allowed ~learned_from:Relationship.Customer
+       ~to_:Relationship.Provider
+     && not
+          (Relationship.export_allowed ~learned_from:Relationship.Provider
+             ~to_:Relationship.Provider))
+
 let test_preference () =
   check_bool "customer > peer > provider" true
     (Relationship.preference_class Relationship.Customer
@@ -285,7 +320,7 @@ let test_address_in_covered () =
           check_bool "address maps back to its AS" true (Asn.equal origin a)
       | None -> Alcotest.fail "address not covered by any announced prefix")
 
-let qsuite = List.map QCheck_alcotest.to_alcotest
+let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let prop_generated_graphs_connected =
   QCheck.Test.make ~name:"generated topologies are connected" ~count:10
@@ -297,6 +332,8 @@ let () =
     [ ("relationship",
        [ Alcotest.test_case "invert" `Quick test_invert;
          Alcotest.test_case "export rules" `Quick test_export_rules;
+         Alcotest.test_case "export characterization" `Quick
+           test_export_characterization;
          Alcotest.test_case "preference order" `Quick test_preference ]);
       ("as_graph",
        [ Alcotest.test_case "relationships" `Quick test_graph_relationships;

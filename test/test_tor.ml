@@ -237,7 +237,7 @@ let prop_serialization_stable =
        let s2 = Consensus.to_string (Consensus.of_string s1) in
        s1 = s2)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest
+let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let () =
   Alcotest.run "qs_tor"

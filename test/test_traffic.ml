@@ -299,7 +299,7 @@ let prop_tcp_byte_conservation =
        Netsim.run ~until:600. net;
        Tcp.bytes_delivered cb = size && Tcp.bytes_acked ca = size)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest
+let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let () =
   Alcotest.run "qs_traffic"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Static hygiene gate, run from the repo root (or its _build copy) by the
+# @lint alias:
+#   1. every library module lib/**/*.ml must have a matching .mli — the
+#      interfaces are where invariants are documented, so an interface-less
+#      module is an undocumented one;
+#   2. forbidden patterns must not appear in shipped code (test/ may use
+#      them): Obj.magic defeats the type system, bare Stdlib.compare is a
+#      polymorphic-comparison trap (NaN-unsound on floats, depth-first on
+#      variants), and `assert false` hides unreachable-state reasoning that
+#      should be an explicit exception.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for ml in lib/*/*.ml; do
+  if [ ! -f "${ml}i" ]; then
+    echo "check_mli: $ml has no matching .mli" >&2
+    fail=1
+  fi
+done
+
+if grep -rn --include='*.ml' --include='*.mli' \
+     -e 'Obj\.magic' -e 'Stdlib\.compare' -e 'assert false' \
+     lib bin examples bench; then
+  echo "check_mli: forbidden pattern (Obj.magic / Stdlib.compare / assert false)" >&2
+  fail=1
+fi
+
+exit $fail
