@@ -71,6 +71,7 @@ let () =
           (match m.Measurement.filter_stats with
            | Some fs -> List.length fs.Session_reset.bursts
            | None -> 0);
+        Format.printf "%a@." Measurement.pp_dynamics_summary m;
         measurement := Some m;
         m
   in
@@ -267,6 +268,60 @@ let () =
             (Community_attack.sweep_radius scenario.Scenario.indexed ~victim
                ~attacker ~monitors [ 1; 2; 3; 5; 8 ]));
 
+  section "AB-cache" "ablation — route cache on/off (same stream, fewer recomputes)"
+    (fun () ->
+       (* Short outages keep failures mostly non-overlapping, so reverts
+          return to an exact previously-seen (announcement, failed)
+          configuration — the reuse pattern the cache exists for. Long
+          overlapping outages make the global failed set churn constantly
+          and no exact configuration ever repeats. *)
+       let cfg =
+         { Dynamics.short_config with
+           Dynamics.duration = 1. *. 86_400.;
+           base_churn_rate = 2.0;
+           mean_outage = 5.;
+           mean_global_outage = 5. }
+       in
+       let capacity = if !scale = "small" then 4096 else 1024 in
+       (* Timed runs discard updates so the clock measures route
+          computation, not pretty-printing. *)
+       let timed cache_size =
+         let rng = Scenario.rng_for scenario "ab-cache" in
+         let start = Unix.gettimeofday () in
+         let _, stats =
+           Dynamics.run ~rng
+             { cfg with Dynamics.route_cache_size = cache_size }
+             scenario.Scenario.world ~emit:ignore
+         in
+         (Unix.gettimeofday () -. start, stats)
+       in
+       (* Separate (untimed) runs capture the full rendered streams for
+          the byte-identity check. *)
+       let capture cache_size =
+         let buf = Buffer.create (1 lsl 20) in
+         let ppf = Format.formatter_of_buffer buf in
+         let _ =
+           Dynamics.run ~rng:(Scenario.rng_for scenario "ab-cache")
+             { cfg with Dynamics.route_cache_size = cache_size }
+             scenario.Scenario.world
+             ~emit:(fun u -> Format.fprintf ppf "%a@." Update.pp u)
+         in
+         Format.pp_print_flush ppf ();
+         Buffer.contents buf
+       in
+       let t_off, s_off = timed 0 in
+       let t_on, s_on = timed capacity in
+       Format.printf
+         "  cache off: %.2f s, %d recomputations@." t_off
+         s_off.Dynamics.recomputations;
+       Format.printf
+         "  cache on:  %.2f s, %d recomputations, %d hits / %d misses / %d evictions@."
+         t_on s_on.Dynamics.recomputations s_on.Dynamics.cache_hits
+         s_on.Dynamics.cache_misses s_on.Dynamics.cache_evictions;
+       Format.printf "  speedup: %.2fx; streams byte-identical: %b@."
+         (t_off /. Float.max t_on 1e-9)
+         (String.equal (capture 0) (capture capacity)));
+
   (* ---------------- Bechamel microbenchmarks ------------------------ *)
   if !micro && want "micro" then begin
     Format.printf "@.=== micro: Bechamel kernels (one per experiment) ===@.";
@@ -334,6 +389,10 @@ let () =
                  Interception.run ix ~victim ~attacker ()));
           Test.make ~name:"C1-propagation"
             (Staged.stage (fun () -> Propagate.compute ix [ some_origin ]));
+          (let ws = Propagate.Workspace.create () in
+           Test.make ~name:"C1-propagation-ws"
+             (Staged.stage (fun () ->
+                  Propagate.compute ix ~workspace:ws [ some_origin ])));
           Test.make ~name:"substrate-lpm"
             (Staged.stage (fun () -> Prefix_trie.longest_match addr trie));
           Test.make ~name:"substrate-mrt-decode"
@@ -354,6 +413,57 @@ let () =
            | Some [] | None -> "(no estimate)"
          in
          Format.printf "  %-40s %s@." name est)
-      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+
+    (* The month-dynamics kernels each run a whole simulation (~0.1–0.5 s),
+       so they get their own, longer quota — the 0.5 s above would fit a
+       single run. Short mostly non-overlapping outages are the regime the
+       route cache exists for: reverts land back on previously-seen
+       configurations (see the AB-cache ablation). *)
+    Format.printf "@.=== micro: month-dynamics kernel, cached vs uncached ===@.";
+    (* [base_churn_rate] is per-duration, so shrinking the horizon does not
+       shrink the event count — it compresses the timeline and makes
+       outages overlap (killing exact-configuration reuse). Keep the full
+       day and lower the churn instead. *)
+    let dyn_cfg cache =
+      { Dynamics.short_config with
+        Dynamics.duration = 1. *. 86_400.;
+        base_churn_rate = 0.5;
+        mean_outage = 5.;
+        mean_global_outage = 5.;
+        route_cache_size = cache }
+    in
+    let dyn_tests =
+      Test.make_grouped ~name:"quicksand"
+        [ Test.make ~name:"F3L-dynamics-cached"
+            (Staged.stage (fun () ->
+                 Dynamics.run ~rng:(Rng.of_int 11) (dyn_cfg 4096)
+                   small.Scenario.world ~emit:ignore));
+          Test.make ~name:"F3L-dynamics-uncached"
+            (Staged.stage (fun () ->
+                 Dynamics.run ~rng:(Rng.of_int 11) (dyn_cfg 0)
+                   small.Scenario.world ~emit:ignore)) ]
+    in
+    let dyn_cfg_bench =
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 5.) ~kde:None ()
+    in
+    let raw = Benchmark.all dyn_cfg_bench Instance.[ monotonic_clock ] dyn_tests in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let estimate name =
+      match Hashtbl.find_opt results name with
+      | Some o ->
+          (match Analyze.OLS.estimates o with
+           | Some (t :: _) -> Some t
+           | Some [] | None -> None)
+      | None -> None
+    in
+    let cached = estimate "quicksand/F3L-dynamics-cached" in
+    let uncached = estimate "quicksand/F3L-dynamics-uncached" in
+    (match (cached, uncached) with
+     | Some c, Some u ->
+         Format.printf "  %-40s %12.1f ns/run@." "F3L-dynamics-cached" c;
+         Format.printf "  %-40s %12.1f ns/run@." "F3L-dynamics-uncached" u;
+         Format.printf "  cache speedup: %.2fx@." (u /. Float.max c 1.)
+     | _ -> Format.printf "  (no estimate for the dynamics kernels)@.")
   end;
   Format.printf "@.done in %.1f s@." (Unix.gettimeofday () -. t0)

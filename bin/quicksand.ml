@@ -63,7 +63,9 @@ let concentration_cmd =
 let path_changes_cmd =
   let run seed scale days =
     let s = build_scenario seed scale in
-    Path_changes.print fmt (Path_changes.compute (measure s days))
+    let m = measure s days in
+    Format.printf "%a@." Measurement.pp_dynamics_summary m;
+    Path_changes.print fmt (Path_changes.compute m)
   in
   Cmd.v (Cmd.info "path-changes" ~doc:"F3L: Tor-prefix path-change CCDF")
     Term.(const run $ seed $ scale $ days)

@@ -35,4 +35,9 @@ let points t =
 let eval_at t xs = List.map (fun x -> (x, at t x)) xs
 
 let quantile_where t q =
-  List.find_map (fun (x, p) -> if p <= q then Some x else None) (points t)
+  match List.find_map (fun (x, p) -> if p <= q then Some x else None) (points t) with
+  | Some _ as found -> found
+  | None ->
+      (* [q] is below the tail mass at the maximum: no sample value has
+         [at t x <= q], and the largest sample is the tightest answer. *)
+      Some t.sorted.(Array.length t.sorted - 1)

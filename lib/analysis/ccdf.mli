@@ -13,10 +13,15 @@ val points : t -> (float * float) list
 (** The distinct sample values [x] ascending, each with [at t x]. *)
 
 val size : t -> int
+(** Number of samples the CCDF was built from. *)
 
 val eval_at : t -> float list -> (float * float) list
 (** CCDF sampled at the given x values (for printing fixed tables). *)
 
 val quantile_where : t -> float -> float option
-(** [quantile_where t q] = the smallest x with [at t x <= q], if any:
-    "the value past which only a fraction q of cases remain". *)
+(** [quantile_where t q] = the smallest sample x with [at t x <= q]:
+    "the value past which only a fraction q of cases remain". When [q] is
+    below the tail mass at the maximum (no sample satisfies the bound —
+    e.g. [q = 0], or heavy ties at the top), the maximum sample is
+    returned, so the result is always [Some] on the non-empty samples
+    {!of_samples} guarantees. *)

@@ -17,6 +17,7 @@ type config = {
   max_affected_per_event : int;
   pathological_prefixes : int;
   pathological_multiplier : float;
+  route_cache_size : int;
 }
 
 let day = 86_400.
@@ -39,7 +40,8 @@ let default_config =
     convergence_delay_max = 40.;
     max_affected_per_event = 40;
     pathological_prefixes = 2;
-    pathological_multiplier = 2600. }
+    pathological_multiplier = 2600.;
+    route_cache_size = 512 }
 
 let short_config =
   { default_config with
@@ -70,6 +72,11 @@ type stats = {
   announces : int;
   withdraws : int;
   recomputations : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  post_horizon_dropped : int;
+  final_failed : Link_set.t;
 }
 
 type perturbation =
@@ -96,6 +103,8 @@ type state = {
   pfx_of_origin : int list Asn.Table.t;
   core_links : (Asn.t * Asn.t) array;
   mutable failed : Link_set.t;
+  workspace : Propagate.Workspace.t;
+  cache : Route_cache.t option;
   events : event Pqueue.t;
   outq : Update.t Pqueue.t;
   emit : Update.t -> unit;
@@ -104,6 +113,7 @@ type state = {
   mutable n_ann : int;
   mutable n_wd : int;
   mutable n_recomp : int;
+  mutable n_dropped : int;
   mutable globals : (Asn.t * Asn.t * float * float) list;
   mutable resets : (Update.session_id * float * float) list;
 }
@@ -128,6 +138,30 @@ let announcement st p =
   Announcement.originate st.origins.(p) st.pfxs.(p)
   |> Announcement.with_prepend st.prepend.(p)
 
+(* The routing outcome for prefix [p] in the current (prepend, failed)
+   configuration. With the cache enabled, Revert / Global_restore /
+   prepend-toggle events land back on a previously-seen configuration and
+   reuse its outcome; misses compute {e without} the workspace, because a
+   cached outcome must own its arrays ({!Propagate.Workspace} scratch is
+   invalidated by the next compute). [n_recomp] counts actual propagation
+   runs, so cache hits don't inflate it. *)
+let outcome_for st p =
+  let anns = [ announcement st p ] in
+  match st.cache with
+  | None ->
+      st.n_recomp <- st.n_recomp + 1;
+      Propagate.compute st.w.indexed ~workspace:st.workspace
+        ~failed:st.failed anns
+  | Some cache ->
+      let k = Route_cache.key ~anns ~failed:st.failed in
+      (match Route_cache.find cache k with
+       | Some outcome -> outcome
+       | None ->
+           st.n_recomp <- st.n_recomp + 1;
+           let outcome = Propagate.compute st.w.indexed ~failed:st.failed anns in
+           Route_cache.add cache k outcome;
+           outcome)
+
 let visible_route outcome (session : Collector.session) =
   let peer = session.Collector.id.Update.peer in
   match Propagate.route_class_at outcome peer with
@@ -140,10 +174,7 @@ let visible_route outcome (session : Collector.session) =
 let recompute st now affected =
   List.iter
     (fun p ->
-       st.n_recomp <- st.n_recomp + 1;
-       let outcome =
-         Propagate.compute st.w.indexed ~failed:st.failed [ announcement st p ]
-       in
+       let outcome = outcome_for st p in
        Array.iteri
          (fun s_idx session ->
             let next = visible_route outcome session in
@@ -269,10 +300,12 @@ let handle_churn st now p =
     recompute st now [ p ]
   end
 
+let apply_perturbation st = function
+  | Restore_link (a, b) -> st.failed <- Link_set.remove a b st.failed
+  | Set_prepend (p, v) -> st.prepend.(p) <- v
+
 let handle_revert st now perturbation affected =
-  (match perturbation with
-   | Restore_link (a, b) -> st.failed <- Link_set.remove a b st.failed
-   | Set_prepend (p, v) -> st.prepend.(p) <- v);
+  apply_perturbation st perturbation;
   recompute st now affected
 
 (* Prefixes whose currently-recorded path at some session crosses link
@@ -404,16 +437,25 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
       previous = Array.make_matrix n_pfx (Array.length sessions) None;
       pfx_of_origin; core_links;
       failed = Link_set.empty;
+      workspace = Propagate.Workspace.create ();
+      cache =
+        (if cfg.route_cache_size > 0 then
+           Some (Route_cache.create ~capacity:cfg.route_cache_size)
+         else None);
       events = Pqueue.create ();
       outq = Pqueue.create ();
       emit;
       n_churn = 0; n_updates = 0; n_ann = 0; n_wd = 0; n_recomp = 0;
+      n_dropped = 0;
       globals = []; resets = [] }
   in
   (* Time 0: full routing computation, no emissions. *)
   let initial = ref Update.Session_map.empty in
   for p = 0 to n_pfx - 1 do
-    let outcome = Propagate.compute w.indexed [ announcement st p ] in
+    (* Routed through [outcome_for] so the cache is seeded with every
+       prefix's baseline (no failures, no prepend) configuration — the one
+       each Revert eventually returns to. *)
+    let outcome = outcome_for st p in
     Array.iteri
       (fun s_idx session ->
          match visible_route outcome session with
@@ -453,7 +495,7 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
     match Pqueue.pop st.events with
     | None -> ()
     | Some (now, ev) ->
-        drain st now;
+        drain st (Float.min now cfg.duration);
         if now <= cfg.duration then begin
           (match ev with
            | Churn p -> handle_churn st now p
@@ -463,10 +505,30 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
            | Reset s_idx -> handle_reset st now s_idx);
           loop ()
         end
-        else loop ()  (* drop post-horizon events but keep reverting state *)
+        else begin
+          (* Past the horizon nothing is emitted or recomputed, but
+             revert-type events still land so every transient perturbation
+             returns the state to baseline: [failed] ends empty and
+             [prepend] at its configured values. *)
+          (match ev with
+           | Revert (perturbation, _) -> apply_perturbation st perturbation
+           | Global_restore ((a, b), _) ->
+               st.failed <- Link_set.remove a b st.failed
+           | Churn _ | Global_fail | Reset _ -> ());
+          loop ()
+        end
   in
   loop ();
-  drain st infinity;
+  (* The out-queue may still hold updates scheduled past the horizon
+     (convergence delays and reset replays near the end of the run push
+     past it). Emit only up to [duration]; count the rest as dropped. *)
+  drain st cfg.duration;
+  st.n_dropped <- st.n_dropped + Pqueue.length st.outq;
+  let cache_stats =
+    match st.cache with
+    | Some c -> Route_cache.stats c
+    | None -> Route_cache.zero_stats
+  in
   ( !initial,
     { churn_events = st.n_churn;
       global_events = List.rev st.globals;
@@ -474,4 +536,9 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
       updates_emitted = st.n_updates;
       announces = st.n_ann;
       withdraws = st.n_wd;
-      recomputations = st.n_recomp } )
+      recomputations = st.n_recomp;
+      cache_hits = cache_stats.Route_cache.hits;
+      cache_misses = cache_stats.Route_cache.misses;
+      cache_evictions = cache_stats.Route_cache.evictions;
+      post_horizon_dropped = st.n_dropped;
+      final_failed = st.failed } )

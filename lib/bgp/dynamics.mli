@@ -46,6 +46,13 @@ type config = {
   pathological_prefixes : int;   (** super-flappers among hosting prefixes
                                      (the paper's 2000x-median anecdote) *)
   pathological_multiplier : float;
+  route_cache_size : int;        (** LRU capacity of the route cache keyed
+                                     by (announcement, failed links); [<= 0]
+                                     disables it. The emitted update stream
+                                     is byte-identical either way — the
+                                     cache only avoids recomputing
+                                     propagation outcomes already seen
+                                     (default: 512). *)
 }
 
 val default_config : config
@@ -77,6 +84,18 @@ type stats = {
   announces : int;
   withdraws : int;
   recomputations : int;
+      (** actual propagation runs (cache misses plus every compute when the
+          cache is off); [cache_hits + recomputations] = outcome requests *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  post_horizon_dropped : int;
+      (** updates scheduled past [duration] and never emitted — convergence
+          delays and reset replays near the end of the run overshoot the
+          horizon; the stream itself stays within [\[0, duration\]] *)
+  final_failed : Link_set.t;
+      (** failed links once every revert has been applied — empty unless a
+          perturbation genuinely outlives all scheduled restores *)
 }
 
 val run :

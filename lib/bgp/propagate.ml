@@ -114,7 +114,53 @@ let rec last_exn = function
   | _ :: rest -> last_exn rest
   | [] -> invalid_arg "Propagate: empty claimed path"
 
-let compute graph ?(failed = Link_set.empty) ?rov anns =
+module Workspace = struct
+  type t = {
+    mutable cls : int array;
+    mutable len : int array;
+    mutable next : int array;
+    mutable src : int array;
+    mutable depth : int array;
+    mutable settled_up : bool array;
+    mutable settled_down : bool array;
+    mutable up : buckets;
+    mutable down : buckets;
+  }
+
+  let create () =
+    { cls = [||]; len = [||]; next = [||]; src = [||]; depth = [||];
+      settled_up = [||]; settled_down = [||];
+      up = { slots = [||] }; down = { slots = [||] } }
+
+  (* Make the workspace ready for a graph of [n] nodes: reallocate when too
+     small, otherwise reset in place. Bucket arrays are cleared over their
+     whole (possibly larger) capacity — the stage loops walk every slot, so
+     a stale entry from a previous compute would corrupt the BFS. *)
+  let ready w n =
+    if Array.length w.cls < n then begin
+      w.cls <- Array.make n (-1);
+      w.len <- Array.make n 0;
+      w.next <- Array.make n (-1);
+      w.src <- Array.make n (-1);
+      w.depth <- Array.make n 0;
+      w.settled_up <- Array.make n false;
+      w.settled_down <- Array.make n false;
+      w.up <- bucket_make n;
+      w.down <- bucket_make n
+    end else begin
+      Array.fill w.cls 0 n (-1);
+      Array.fill w.len 0 n 0;
+      Array.fill w.next 0 n (-1);
+      Array.fill w.src 0 n (-1);
+      Array.fill w.depth 0 n 0;
+      Array.fill w.settled_up 0 n false;
+      Array.fill w.settled_down 0 n false;
+      Array.fill w.up.slots 0 (Array.length w.up.slots) [];
+      Array.fill w.down.slots 0 (Array.length w.down.slots) []
+    end
+end
+
+let compute graph ?workspace ?(failed = Link_set.empty) ?rov anns =
   (match anns with [] -> invalid_arg "Propagate.compute: no announcements" | _ -> ());
   let pfx = (List.hd anns).Announcement.prefix in
   List.iter
@@ -147,18 +193,20 @@ let compute graph ?(failed = Link_set.empty) ?rov anns =
          anns)
   in
   let n = As_graph.Indexed.n graph in
-  let t =
-    { graph; pfx; anns;
-      cls = Array.make n (-1);
-      len = Array.make n 0;
-      next = Array.make n (-1);
-      src = Array.make n (-1);
-      depth = Array.make n 0;
-      failed;
-      rov_deployers }
+  let cls, len, next, src, depth, settled_up, settled_down, up, down =
+    match workspace with
+    | Some w ->
+        Workspace.ready w n;
+        (w.Workspace.cls, w.Workspace.len, w.Workspace.next,
+         w.Workspace.src, w.Workspace.depth, w.Workspace.settled_up,
+         w.Workspace.settled_down, w.Workspace.up, w.Workspace.down)
+    | None ->
+        (Array.make n (-1), Array.make n 0, Array.make n (-1),
+         Array.make n (-1), Array.make n 0, Array.make n false,
+         Array.make n false, bucket_make n, bucket_make n)
   in
+  let t = { graph; pfx; anns; cls; len; next; src; depth; failed; rov_deployers } in
   (* Seed the origins. *)
-  let up = bucket_make n in
   Array.iteri
     (fun k info ->
        let o =
@@ -182,13 +230,12 @@ let compute graph ?(failed = Link_set.empty) ?rov anns =
        end)
     anns;
   (* Stage A: uphill. *)
-  let processed = Array.make n false in
   let l = ref 0 in
   while !l < Array.length up.slots do
     List.iter
       (fun u ->
-         if (not processed.(u)) && t.len.(u) = !l && t.cls.(u) >= cls_customer then begin
-           processed.(u) <- true;
+         if (not settled_up.(u)) && t.len.(u) = !l && t.cls.(u) >= cls_customer then begin
+           settled_up.(u) <- true;
            if may_reexport t u then
              Array.iter
                (fun (v, rel) ->
@@ -226,8 +273,6 @@ let compute graph ?(failed = Link_set.empty) ?rov anns =
            (As_graph.Indexed.neighbors graph u))
     !stage_a_sources;
   (* Stage C: downhill to customers, chaining through provider routes. *)
-  let down = bucket_make n in
-  let processed_down = Array.make n false in
   for u = 0 to n - 1 do
     if t.cls.(u) >= cls_provider then bucket_push down t.len.(u) u
   done;
@@ -235,9 +280,9 @@ let compute graph ?(failed = Link_set.empty) ?rov anns =
   while !l < Array.length down.slots do
     List.iter
       (fun u ->
-         if (not processed_down.(u)) && t.len.(u) = !l && t.cls.(u) >= cls_provider
+         if (not settled_down.(u)) && t.len.(u) = !l && t.cls.(u) >= cls_provider
          then begin
-           processed_down.(u) <- true;
+           settled_down.(u) <- true;
            if may_reexport t u then
              Array.iter
                (fun (v, rel) ->

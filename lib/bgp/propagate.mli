@@ -25,14 +25,39 @@
 type t
 (** The routing outcome for one prefix: the best route at every AS. *)
 
+module Workspace : sig
+  type t
+  (** Preallocated scratch state for {!compute}: the five per-AS arrays
+      (class/length/next-hop/source/depth) plus settle flags and the two
+      BFS bucket tables. A plain [compute] allocates all of these afresh
+      per call — on hot paths that recompute thousands of prefixes (the
+      dynamics simulator, lint's per-prefix sampling loop) a reused
+      workspace removes that allocation entirely.
+
+      A workspace grows to fit the largest graph it has served and is
+      reset in place on every use. It is single-threaded scratch space:
+      an outcome computed through a workspace {e aliases} its arrays, so
+      the next [compute ~workspace] call on the same workspace
+      {b invalidates all previous outcomes} it produced. Use a workspace
+      only where each outcome is consumed before the next compute —
+      never for outcomes that are stored (e.g. in a {!Route_cache}). *)
+
+  val create : unit -> t
+  (** An empty workspace; arrays are sized lazily by the first use. *)
+end
+
 val compute :
-  As_graph.Indexed.t -> ?failed:Link_set.t -> ?rov:Rpki.t * Asn.Set.t ->
-  Announcement.t list -> t
+  As_graph.Indexed.t -> ?workspace:Workspace.t -> ?failed:Link_set.t ->
+  ?rov:Rpki.t * Asn.Set.t -> Announcement.t list -> t
 (** [compute g ~failed ~rov anns] computes routes for the prefix of [anns].
     [rov = (roa_table, deploying_ases)] enables route-origin validation:
     the listed ASes refuse routes whose claimed origin is RPKI-invalid
     (forged-origin paths still validate — ROV is origin, not path,
     security).
+    [workspace] reuses preallocated scratch arrays instead of allocating
+    per call; the result then stays valid only until the workspace's next
+    compute (see {!Workspace}). The outcome is bit-for-bit identical with
+    and without a workspace.
     @raise Invalid_argument if [anns] is empty, the announcements disagree
     on the prefix, or an origin is not in the graph. *)
 

@@ -1,0 +1,119 @@
+(* Bounded LRU over propagation outcomes. Keys are exact canonical
+   serializations of (announcements, failed links) — structural equality,
+   no lossy hashing — so a hit can never return routes for a different
+   configuration; byte-identical update streams with the cache on and off
+   depend on that. Recency is a doubly-linked list threaded through the
+   table entries: find/add are O(1) plus the key's hash. *)
+
+type entry = {
+  e_key : string;
+  outcome : Propagate.t;
+  mutable newer : entry option;
+  mutable older : entry option;
+}
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable newest : entry option;
+  mutable oldest : entry option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ~capacity =
+  if capacity <= 0 then
+    invalid_arg "Route_cache.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (2 * capacity);
+    newest = None; oldest = None; hits = 0; misses = 0; evictions = 0 }
+
+let key ~anns ~failed =
+  let buf = Buffer.create 96 in
+  List.iter
+    (fun (a : Announcement.t) ->
+       Buffer.add_string buf (Prefix.to_string a.Announcement.prefix);
+       Printf.bprintf buf "|%d|%d|"
+         (Asn.to_int a.Announcement.origin) a.Announcement.prepend;
+       List.iter
+         (fun s -> Printf.bprintf buf "%d," (Asn.to_int s))
+         a.Announcement.fake_suffix;
+       Buffer.add_char buf '|';
+       (match a.Announcement.export_to with
+        | None -> Buffer.add_char buf '*'
+        | Some set ->
+            Asn.Set.iter
+              (fun x -> Printf.bprintf buf "%d," (Asn.to_int x))
+              set);
+       Buffer.add_char buf '|';
+       (match a.Announcement.max_radius with
+        | None -> Buffer.add_char buf '*'
+        | Some r -> Buffer.add_string buf (string_of_int r));
+       Buffer.add_char buf '|';
+       List.iter
+         (fun (x, y) -> Printf.bprintf buf "%d:%d," x y)
+         a.Announcement.communities;
+       Buffer.add_char buf ';')
+    anns;
+  Buffer.add_char buf '#';
+  List.iter
+    (fun (x, y) ->
+       Printf.bprintf buf "%d-%d;" (Asn.to_int x) (Asn.to_int y))
+    (Link_set.elements failed);
+  Buffer.contents buf
+
+let unlink t e =
+  (match e.newer with
+   | Some n -> n.older <- e.older
+   | None -> t.newest <- e.older);
+  (match e.older with
+   | Some o -> o.newer <- e.newer
+   | None -> t.oldest <- e.newer);
+  e.newer <- None;
+  e.older <- None
+
+let push_newest t e =
+  e.older <- t.newest;
+  (match t.newest with
+   | Some n -> n.newer <- Some e
+   | None -> t.oldest <- Some e);
+  t.newest <- Some e
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      (match t.newest with
+       | Some n when n == e -> ()
+       | Some _ | None -> unlink t e; push_newest t e);
+      Some e.outcome
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t k outcome =
+  (match Hashtbl.find_opt t.table k with
+   | Some old ->
+       unlink t old;
+       Hashtbl.remove t.table k
+   | None -> ());
+  let e = { e_key = k; outcome; newer = None; older = None } in
+  Hashtbl.replace t.table k e;
+  push_newest t e;
+  if Hashtbl.length t.table > t.capacity then
+    match t.oldest with
+    | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.e_key;
+        t.evictions <- t.evictions + 1
+    | None -> ()
+
+let length t = Hashtbl.length t.table
+
+let stats (c : t) =
+  { hits = c.hits; misses = c.misses; evictions = c.evictions;
+    entries = Hashtbl.length c.table }
+
+let zero_stats = { hits = 0; misses = 0; evictions = 0; entries = 0 }

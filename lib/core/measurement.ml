@@ -164,6 +164,21 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
     visibility;
     n_sessions = List.length (Scenario.sessions scenario) }
 
+let pp_dynamics_summary ppf t =
+  let s = t.dyn_stats in
+  Format.fprintf ppf
+    "@[<v>dynamics: %d updates (%d announce / %d withdraw), %d churn events@,\
+     propagation: %d recomputations, cache %d hits / %d misses / %d \
+     evictions%s@,\
+     horizon: %d updates dropped past t=%g, %d links still failed@]"
+    s.Dynamics.updates_emitted s.Dynamics.announces s.Dynamics.withdraws
+    s.Dynamics.churn_events s.Dynamics.recomputations s.Dynamics.cache_hits
+    s.Dynamics.cache_misses s.Dynamics.cache_evictions
+    (if s.Dynamics.cache_hits = 0 && s.Dynamics.cache_misses = 0
+     then " (disabled)" else "")
+    s.Dynamics.post_horizon_dropped t.duration
+    (Link_set.cardinal s.Dynamics.final_failed)
+
 let cells_for_session t session =
   List.filter (fun c -> Update.session_equal c.key.session session) t.cells
 

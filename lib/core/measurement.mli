@@ -50,6 +50,12 @@ val run :
     post-filter update, in per-session time order — attach monitors here.
     [extra_updates] must be time-sorted. *)
 
+val pp_dynamics_summary : Format.formatter -> t -> unit
+(** Three-line summary of the run's {!Dynamics.stats}: update counts,
+    recomputations with route-cache hit/miss/eviction counters, and the
+    horizon accounting (post-horizon drops, links still failed at the
+    end). Printed by [quicksand path-changes] and the benchmarks. *)
+
 val cells_for_session : t -> Update.session_id -> cell list
 
 val is_tor : t -> Prefix.t -> bool

@@ -10,6 +10,7 @@ type t = {
   consensus : Consensus.t;
   tor_prefixes : Tor_prefix.t;
   world : Dynamics.world;
+  workspace : Propagate.Workspace.t;
 }
 
 let build ~seed size =
@@ -32,7 +33,8 @@ let build ~seed size =
   let tor_prefixes = Tor_prefix.compute addressing consensus in
   let world = Dynamics.make_world graph addressing collectors in
   { seed; size; graph; indexed = world.Dynamics.indexed; addressing;
-    collectors; consensus; tor_prefixes; world }
+    collectors; consensus; tor_prefixes; world;
+    workspace = Propagate.Workspace.create () }
 
 let sessions t = Collector.all_sessions t.collectors
 

@@ -17,6 +17,10 @@ type t = {
   consensus : Consensus.t;
   tor_prefixes : Tor_prefix.t;
   world : Dynamics.world;
+  workspace : Propagate.Workspace.t;
+      (** shared scratch for one-off {!Propagate.compute} calls over this
+          scenario's graph (lint sweeps, ad-hoc probes). Single-threaded:
+          each outcome is valid only until the next compute through it. *)
 }
 
 val build : seed:int -> size -> t

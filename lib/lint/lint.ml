@@ -36,7 +36,9 @@ let run ?rules ?(max_prefixes = 512) ?(determinism = true) (s : Scenario.t) =
     sample_prefixes ~max_prefixes (Addressing.announced s.Scenario.addressing)
     |> List.concat_map (fun (p, o) ->
         let table =
-          Propagate.compute s.Scenario.indexed [ Announcement.originate o p ]
+          Propagate.compute s.Scenario.indexed
+            ~workspace:s.Scenario.workspace
+            [ Announcement.originate o p ]
         in
         Routing_lint.check_table g table)
   in

@@ -15,7 +15,15 @@ let collector_peer_ip =
     doc = "a collector session's peer IP is outside the peer AS's address \
            space" }
 
-let rules = [ nondeterministic_build; dead_collector_peer; collector_peer_ip ]
+let update_stream_hygiene =
+  { Diag.code = "QS304"; slug = "update-stream-hygiene";
+    severity = Diag.Error;
+    doc = "an emitted update stream left the measurement horizon or went \
+           backwards in time" }
+
+let rules =
+  [ nondeterministic_build; dead_collector_peer; collector_peer_ip;
+    update_stream_hygiene ]
 
 let check_collectors g addressing collectors =
   collectors
@@ -51,6 +59,36 @@ let check_collectors g addressing collectors =
                     c.Collector.name Asn.pp peer Ipv4.pp s.Collector.peer_ip ]
           in
           liveness @ ip))
+
+let check_update_stream ~duration updates =
+  let last = ref neg_infinity in
+  List.concat_map
+    (fun (u : Update.t) ->
+       let t = u.Update.time in
+       let ctx =
+         [ ("time", string_of_float t);
+           ("duration", string_of_float duration);
+           ("session", u.Update.session.Update.collector) ]
+       in
+       let horizon =
+         if t < 0. || t > duration then
+           [ Diag.msgf update_stream_hygiene ~context:ctx
+               "update at t=%g is outside the measurement horizon [0, %g]"
+               t duration ]
+         else []
+       in
+       let order =
+         if t < !last then
+           [ Diag.msgf update_stream_hygiene
+               ~context:(("previous", string_of_float !last) :: ctx)
+               "update at t=%g emitted after one at t=%g (stream must be \
+                non-decreasing)"
+               t !last ]
+         else []
+       in
+       last := Float.max !last t;
+       horizon @ order)
+    updates
 
 let check_determinism (s : Scenario.t) =
   let rebuilt = Scenario.build ~seed:s.Scenario.seed s.Scenario.size in

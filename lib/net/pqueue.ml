@@ -1,15 +1,25 @@
 type 'a entry = { key : float; seq : int; value : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable heap : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
 }
+
+(* Slots at indices < size are always [Some]; slots at indices >= size are
+   always [None], so the heap never retains entries that were popped (or
+   dummy entries pinning the first pushed value, as an ['a entry array]
+   representation would need for freshly-grown capacity). *)
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let is_empty q = q.size = 0
 let length q = q.size
+
+let get q i =
+  match q.heap.(i) with
+  | Some e -> e
+  | None -> invalid_arg "Pqueue: vacant slot inside the live heap"
 
 let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
@@ -21,7 +31,7 @@ let swap q i j =
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if lt q.heap.(i) q.heap.(parent) then begin
+    if lt (get q i) (get q parent) then begin
       swap q i parent;
       sift_up q parent
     end
@@ -30,8 +40,8 @@ let rec sift_up q i =
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < q.size && lt q.heap.(l) q.heap.(!smallest) then smallest := l;
-  if r < q.size && lt q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if l < q.size && lt (get q l) (get q !smallest) then smallest := l;
+  if r < q.size && lt (get q r) (get q !smallest) then smallest := r;
   if !smallest <> i then begin
     swap q i !smallest;
     sift_down q !smallest
@@ -40,27 +50,25 @@ let rec sift_down q i =
 let push q key value =
   if q.size = Array.length q.heap then begin
     let cap = max 16 (2 * Array.length q.heap) in
-    let entry = { key; seq = 0; value } in
-    let heap = Array.make cap entry in
+    let heap = Array.make cap None in
     Array.blit q.heap 0 heap 0 q.size;
     q.heap <- heap
   end;
-  q.heap.(q.size) <- { key; seq = q.next_seq; value };
+  q.heap.(q.size) <- Some { key; seq = q.next_seq; value };
   q.next_seq <- q.next_seq + 1;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
 
-let min_key q = if q.size = 0 then None else Some q.heap.(0).key
+let min_key q = if q.size = 0 then None else Some (get q 0).key
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
+    let top = get q 0 in
     q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q 0
-    end;
+    q.heap.(0) <- q.heap.(q.size);
+    q.heap.(q.size) <- None;
+    if q.size > 0 then sift_down q 0;
     Some (top.key, top.value)
   end
 

@@ -1,7 +1,12 @@
 (** Minimal mutable min-priority queue (binary heap) keyed by float.
 
     Used by the BGP dynamics simulator for pending timed events and for
-    time-ordering emitted updates. Ties are popped in insertion order. *)
+    time-ordering emitted updates. Ties are popped in insertion order.
+
+    The queue never retains values it no longer holds: popping an entry
+    clears the vacated heap slot, and freshly-grown capacity slots are
+    empty rather than filled with a dummy entry, so long-running
+    simulations do not pin dead events against the GC. *)
 
 type 'a t
 

@@ -60,6 +60,24 @@ let test_ccdf_quantile_where () =
    | Some x -> check_float "tail boundary" 9. x
    | None -> Alcotest.fail "expected a quantile")
 
+(* When q is below the tail mass at the maximum, the maximum sample is
+   the tightest answer — never [None] on non-empty samples. *)
+let test_ccdf_quantile_below_tail_mass () =
+  let c = Ccdf.of_samples [ 1.; 2.; 3.; 4. ] in
+  (* at c 4. = 0.25, so q = 0.1 is below the tail mass at the max *)
+  (match Ccdf.quantile_where c 0.1 with
+   | Some x -> check_float "max sample" 4. x
+   | None -> Alcotest.fail "q below tail mass must yield the max sample");
+  (match Ccdf.quantile_where c 0.25 with
+   | Some x -> check_float "exact tail boundary" 4. x
+   | None -> Alcotest.fail "expected a quantile");
+  (match Ccdf.quantile_where c 0.5 with
+   | Some x -> check_float "median tail" 3. x
+   | None -> Alcotest.fail "expected a quantile");
+  match Ccdf.quantile_where c 0. with
+  | Some x -> check_float "q = 0 yields the max" 4. x
+  | None -> Alcotest.fail "q = 0 must yield the max sample"
+
 let prop_ccdf_in_unit_interval =
   QCheck.Test.make ~name:"ccdf values in [0,1]" ~count:200
     QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 50) (map Float.abs float)) float)
@@ -222,7 +240,9 @@ let () =
       ("ccdf",
        [ Alcotest.test_case "basics" `Quick test_ccdf_basics;
          Alcotest.test_case "monotone points" `Quick test_ccdf_points_monotone;
-         Alcotest.test_case "quantile_where" `Quick test_ccdf_quantile_where ]
+         Alcotest.test_case "quantile_where" `Quick test_ccdf_quantile_where;
+         Alcotest.test_case "quantile below tail mass" `Quick
+           test_ccdf_quantile_below_tail_mass ]
        @ qsuite [ prop_ccdf_in_unit_interval ]);
       ("correlation",
        [ Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;

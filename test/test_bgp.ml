@@ -634,6 +634,73 @@ let test_dynamics_stats_consistent () =
     stats.Dynamics.updates_emitted
     (stats.Dynamics.announces + stats.Dynamics.withdraws)
 
+(* Convergence delays and reset replays near the end of the run schedule
+   updates past the horizon; those must be dropped and counted, never
+   emitted. Seed 5 under [tiny_config] overshoots reliably. *)
+let test_dynamics_horizon_clamp () =
+  let rng, world = small_world 5 in
+  let max_t = ref neg_infinity in
+  let _, stats =
+    Dynamics.run ~rng tiny_config world ~emit:(fun u ->
+        max_t := Float.max !max_t u.Update.time)
+  in
+  check_bool "no update beyond the horizon" true
+    (!max_t <= tiny_config.Dynamics.duration);
+  check_bool "overshooting updates counted as dropped" true
+    (stats.Dynamics.post_horizon_dropped > 0)
+
+(* Revert events scheduled past the horizon must still restore the
+   failed-link state to baseline (without emitting anything). *)
+let test_dynamics_reverts_past_horizon () =
+  List.iter
+    (fun seed ->
+       let rng, world = small_world seed in
+       let _, stats = Dynamics.run ~rng tiny_config world ~emit:(fun _ -> ()) in
+       check_bool "all failures reverted by the end" true
+         (Link_set.is_empty stats.Dynamics.final_failed))
+    [ 5; 9; 23 ]
+
+let dynamics_stream config world rng =
+  let buf = Buffer.create (1 lsl 16) in
+  let ppf = Format.formatter_of_buffer buf in
+  let _, stats =
+    Dynamics.run ~rng config world ~emit:(fun u ->
+        Format.fprintf ppf "%a@." Update.pp u)
+  in
+  Format.pp_print_flush ppf ();
+  (Buffer.contents buf, stats)
+
+(* The route cache is a pure memoization: same seed, byte-identical
+   rendered stream with the cache on and off. *)
+let test_dynamics_cache_transparent () =
+  let cached_cfg = { tiny_config with Dynamics.route_cache_size = 64 } in
+  let uncached_cfg = { tiny_config with Dynamics.route_cache_size = 0 } in
+  let rng, world = small_world 11 in
+  let cached, cs = dynamics_stream cached_cfg world rng in
+  let rng, world = small_world 11 in
+  let uncached, us = dynamics_stream uncached_cfg world rng in
+  check_bool "streams byte-identical" true (String.equal cached uncached);
+  check_bool "cache actually used" true (cs.Dynamics.cache_hits > 0);
+  check_int "uncached run has no hits" 0 us.Dynamics.cache_hits;
+  check_int "hits + recomputations = outcome requests"
+    us.Dynamics.recomputations
+    (cs.Dynamics.cache_hits + cs.Dynamics.recomputations)
+
+let prop_dynamics_cache_identical =
+  QCheck.Test.make ~name:"cache on/off streams identical across seeds"
+    ~count:5
+    QCheck.(int_bound 1000)
+    (fun seed ->
+       let run cache_size =
+         let rng, world = small_world seed in
+         dynamics_stream
+           { tiny_config with Dynamics.route_cache_size = cache_size }
+           world rng
+       in
+       let cached, _ = run 32 in
+       let uncached, _ = run 0 in
+       String.equal cached uncached)
+
 (* Property: the reset filter never drops anything from a burst-free
    stream (sparse updates across many prefixes). *)
 let prop_reset_filter_no_false_positives =
@@ -812,4 +879,10 @@ let () =
          Alcotest.test_case "initial tables consistent" `Quick
            test_dynamics_initial_consistent;
          Alcotest.test_case "deterministic" `Quick test_dynamics_deterministic;
-         Alcotest.test_case "stats consistent" `Quick test_dynamics_stats_consistent ]) ]
+         Alcotest.test_case "stats consistent" `Quick test_dynamics_stats_consistent;
+         Alcotest.test_case "horizon clamp" `Quick test_dynamics_horizon_clamp;
+         Alcotest.test_case "reverts past horizon" `Quick
+           test_dynamics_reverts_past_horizon;
+         Alcotest.test_case "cache transparent" `Quick
+           test_dynamics_cache_transparent ]
+       @ qsuite [ prop_dynamics_cache_identical ]) ]

@@ -310,6 +310,80 @@ let prop_pqueue_sorts =
        let out = List.map fst (Pqueue.drain q) in
        out = List.sort Float.compare keys)
 
+(* Popped entries must not be retained by the heap array. The pushes and
+   the pop happen in [@inline never] helpers so no stack slot of the test
+   body itself keeps the popped value reachable; the queue stays live past
+   the GC, or the whole heap would be garbage and the check vacuous. *)
+let[@inline never] pqueue_push_two_pop_one q weak =
+  Pqueue.push q 1.0 (ref 42);
+  Pqueue.push q 2.0 (ref 43);
+  match Pqueue.pop q with
+  | Some (_, v) -> Weak.set weak 0 (Some v)
+  | None -> Alcotest.fail "pop returned None"
+
+let test_pqueue_pop_releases () =
+  let q = Pqueue.create () in
+  let weak = Weak.create 1 in
+  pqueue_push_two_pop_one q weak;
+  Gc.full_major ();
+  Alcotest.(check bool) "popped value collected" false (Weak.check weak 0);
+  check_int "queue still live" 1 (Pqueue.length q)
+
+(* Growing the heap must not pin the value whose push triggered the
+   growth: the old representation initialized the doubled array with a
+   dummy entry built from it, leaving copies in every slot past [size].
+   After draining and refilling the live prefix with fresh values, only
+   those vacant-tail slots could still reference the watched value. *)
+let[@inline never] pqueue_grow_with_watched q weak =
+  for i = 1 to 16 do
+    Pqueue.push q (float_of_int i) (ref i)
+  done;
+  let watched = ref 17 in
+  Weak.set weak 0 (Some watched);
+  Pqueue.push q 17.0 watched;  (* 17th push: capacity doubles *)
+  check_int "drained all" 17 (List.length (Pqueue.drain q));
+  for i = 1 to 17 do
+    Pqueue.push q (float_of_int i) (ref (100 + i))
+  done
+
+let test_pqueue_grow_releases () =
+  let q = Pqueue.create () in
+  let weak = Weak.create 1 in
+  pqueue_grow_with_watched q weak;
+  Gc.full_major ();
+  Alcotest.(check bool)
+    "vacant capacity does not retain the growth-triggering value" false
+    (Weak.check weak 0);
+  check_int "refilled queue live" 17 (Pqueue.length q)
+
+let prop_pqueue_stable_sort =
+  QCheck.Test.make ~name:"pop order is a stable sort by key" ~count:300
+    QCheck.(list (map (fun k -> Float.abs (float_of_int k)) small_int))
+    (fun keys ->
+       let q = Pqueue.create () in
+       List.iteri (fun i k -> Pqueue.push q k (i, k)) keys;
+       let expected =
+         List.mapi (fun i k -> (i, k)) keys
+         |> List.stable_sort (fun (_, a) (_, b) -> Float.compare a b)
+       in
+       List.map snd (Pqueue.drain q) = expected)
+
+let prop_pqueue_pop_until_boundary =
+  QCheck.Test.make ~name:"pop_until boundary is inclusive" ~count:300
+    QCheck.(pair (list (map Float.abs float)) (map Float.abs float))
+    (fun (keys, limit) ->
+       let q = Pqueue.create () in
+       List.iter (fun k -> Pqueue.push q k k) keys;
+       let popped = List.map fst (Pqueue.pop_until q limit) in
+       let expected_popped =
+         List.sort Float.compare (List.filter (fun k -> k <= limit) keys)
+       in
+       popped = expected_popped
+       && Pqueue.length q = List.length keys - List.length expected_popped
+       && (match Pqueue.min_key q with
+           | Some k -> k > limit
+           | None -> true))
+
 let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let () =
@@ -350,5 +424,10 @@ let () =
       ("pqueue",
        [ Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
-         Alcotest.test_case "pop until" `Quick test_pqueue_pop_until ]
-       @ qsuite [ prop_pqueue_sorts ]) ]
+         Alcotest.test_case "pop until" `Quick test_pqueue_pop_until;
+         Alcotest.test_case "pop releases value" `Quick test_pqueue_pop_releases;
+         Alcotest.test_case "grow releases value" `Quick
+           test_pqueue_grow_releases ]
+       @ qsuite
+           [ prop_pqueue_sorts; prop_pqueue_stable_sort;
+             prop_pqueue_pop_until_boundary ]) ]
