@@ -322,6 +322,37 @@ let () =
          (t_off /. Float.max t_on 1e-9)
          (String.equal (capture 0) (capture capacity)));
 
+  section "AB-jobs" "ablation — executor pool, jobs=1 vs jobs=N (M1 Monte-Carlo)"
+    (fun () ->
+       (* Per-item seeding means the rendered table must be byte-identical
+          at every worker count; only the wall clock may move. On a 1-CPU
+          container [Domain.recommended_domain_count () = 1], so the
+          honest speedup here is ~1x — the ablation still proves the
+          determinism contract and prints the scheduling overhead. *)
+       let jobs_n = max 2 (Domain.recommended_domain_count ()) in
+       let trials = if !scale = "small" then 20_000 else 60_000 in
+       let run jobs =
+         Pool.with_pool ~jobs (fun exec ->
+             let rng = Scenario.rng_for scenario "ab-jobs" in
+             let start = Unix.gettimeofday () in
+             let m1 = Compromise.compute ~rng ~exec ~trials () in
+             let dt = Unix.gettimeofday () -. start in
+             let buf = Buffer.create 4096 in
+             let ppf = Format.formatter_of_buffer buf in
+             Compromise.print ppf m1;
+             Format.pp_print_flush ppf ();
+             (dt, Buffer.contents buf, Pool.stats exec))
+       in
+       let t1, out1, st1 = run 1 in
+       let tn, outn, stn = run jobs_n in
+       Format.printf "  jobs=1: %.2f s  (%a)@." t1 Pool.pp_stats st1;
+       Format.printf "  jobs=%d: %.2f s  (%a)@." jobs_n tn Pool.pp_stats stn;
+       Format.printf
+         "  speedup: %.2fx on %d recommended domain(s); tables byte-identical: %b@."
+         (t1 /. Float.max tn 1e-9)
+         (Domain.recommended_domain_count ())
+         (String.equal out1 outn));
+
   (* ---------------- Bechamel microbenchmarks ------------------------ *)
   if !micro && want "micro" then begin
     Format.printf "@.=== micro: Bechamel kernels (one per experiment) ===@.";
@@ -464,6 +495,47 @@ let () =
          Format.printf "  %-40s %12.1f ns/run@." "F3L-dynamics-cached" c;
          Format.printf "  %-40s %12.1f ns/run@." "F3L-dynamics-uncached" u;
          Format.printf "  cache speedup: %.2fx@." (u /. Float.max c 1.)
-     | _ -> Format.printf "  (no estimate for the dynamics kernels)@.")
+     | _ -> Format.printf "  (no estimate for the dynamics kernels)@.");
+
+    (* Scheduling overhead of Pool.map on tiny tasks: mapping 8192 trivial
+       items stresses chunk bookkeeping, not the work itself. chunk=1 is
+       the pathological regime (one queue slot per item); larger chunks
+       amortize it away. The baseline row is a plain Array.map. *)
+    Format.printf "@.=== micro: Pool.map tiny-task overhead (chunking) ===@.";
+    let items = Array.init 8192 (fun i -> i) in
+    let tiny x = (x * 2654435761) lxor (x lsr 7) in
+    let pool1 = Pool.create ~jobs:1 () in
+    let pool2 = Pool.create ~jobs:2 () in
+    let pool_kernel pool chunk =
+      Staged.stage (fun () -> Pool.map ~chunk pool tiny items)
+    in
+    let pool_tests =
+      Test.make_grouped ~name:"pool"
+        (Test.make ~name:"baseline-array-map"
+           (Staged.stage (fun () -> Array.map tiny items))
+         :: List.concat_map
+              (fun (label, pool) ->
+                 List.map
+                   (fun chunk ->
+                      Test.make
+                        ~name:(Printf.sprintf "map-%s-chunk%04d" label chunk)
+                        (pool_kernel pool chunk))
+                   [ 1; 64; 512 ])
+              [ ("jobs1", pool1); ("jobs2", pool2) ])
+    in
+    let raw = Benchmark.all cfg Instance.[ monotonic_clock ] pool_tests in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+    List.iter
+      (fun (name, o) ->
+         let est =
+           match Analyze.OLS.estimates o with
+           | Some (t :: _) -> Printf.sprintf "%12.1f ns/run" t
+           | Some [] | None -> "(no estimate)"
+         in
+         Format.printf "  %-40s %s@." name est)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+    Pool.shutdown pool1;
+    Pool.shutdown pool2
   end;
   Format.printf "@.done in %.1f s@." (Unix.gettimeofday () -. t0)

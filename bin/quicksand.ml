@@ -23,6 +23,24 @@ let days =
   let doc = "Simulated measurement duration in days." in
   Arg.(value & opt float 2. & info [ "days" ] ~docv:"DAYS" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for parallel sweeps. Results are byte-identical at any \
+     value; the default is what the runtime recommends for this machine."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* Run [f] over a fresh pool sized by --jobs (default: the runtime's
+   recommendation) and print the executor stats afterwards. *)
+let with_exec ?(show_stats = true) jobs f =
+  let jobs =
+    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+  in
+  Pool.with_pool ~jobs (fun exec ->
+      let r = f exec in
+      if show_stats then Format.printf "%a@." Pool.pp_stats (Pool.stats exec);
+      r)
+
 let build_scenario seed scale =
   let s = Scenario.build ~seed scale in
   Format.printf
@@ -61,35 +79,38 @@ let concentration_cmd =
     Term.(const run $ seed $ scale)
 
 let path_changes_cmd =
-  let run seed scale days =
+  let run seed scale days jobs =
     let s = build_scenario seed scale in
     let m = measure s days in
     Format.printf "%a@." Measurement.pp_dynamics_summary m;
-    Path_changes.print fmt (Path_changes.compute m)
+    with_exec jobs (fun exec ->
+        Path_changes.print fmt (Path_changes.compute ~exec m))
   in
   Cmd.v (Cmd.info "path-changes" ~doc:"F3L: Tor-prefix path-change CCDF")
-    Term.(const run $ seed $ scale $ days)
+    Term.(const run $ seed $ scale $ days $ jobs)
 
 let extra_ases_cmd =
-  let run seed scale days threshold =
+  let run seed scale days threshold jobs =
     let s = build_scenario seed scale in
-    As_exposure.print fmt
-      (As_exposure.compute ~threshold (measure s days))
+    let m = measure s days in
+    with_exec jobs (fun exec ->
+        As_exposure.print fmt (As_exposure.compute ~threshold ~exec m))
   in
   let threshold =
     Arg.(value & opt float 300. & info [ "threshold" ] ~docv:"SECONDS"
            ~doc:"Residency threshold for an AS to count as exposed.")
   in
   Cmd.v (Cmd.info "extra-ases" ~doc:"F3R: extra-ASes-over-time CCDF")
-    Term.(const run $ seed $ scale $ days $ threshold)
+    Term.(const run $ seed $ scale $ days $ threshold $ jobs)
 
 let compromise_cmd =
-  let run seed =
+  let run seed jobs =
     let rng = Rng.of_int seed in
-    Compromise.print fmt (Compromise.compute ~rng ())
+    with_exec jobs (fun exec ->
+        Compromise.print fmt (Compromise.compute ~rng ~exec ()))
   in
   Cmd.v (Cmd.info "compromise" ~doc:"M1: the 1-(1-f)^(l*x) model, checked by Monte-Carlo")
-    Term.(const run $ seed)
+    Term.(const run $ seed $ jobs)
 
 let asym_cmd =
   let run seed mb flows =
@@ -175,17 +196,19 @@ let asymmetry_cmd =
     Term.(const run $ seed $ scale $ pairs)
 
 let long_term_cmd =
-  let run seed scale horizon =
+  let run seed scale horizon jobs =
     let s = build_scenario seed scale in
     let rng = Scenario.rng_for s "long-term" in
-    Long_term.print fmt (Long_term.compare_designs ~rng ~horizon_days:horizon s)
+    with_exec jobs (fun exec ->
+        Long_term.print fmt
+          (Long_term.compare_designs ~rng ~horizon_days:horizon ~exec s))
   in
   let horizon =
     Arg.(value & opt int 120 & info [ "horizon" ] ~docv:"DAYS"
            ~doc:"Days of daily communication to simulate.")
   in
   Cmd.v (Cmd.info "long-term" ~doc:"M2: guard designs vs long-term AS-level compromise")
-    Term.(const run $ seed $ scale $ horizon)
+    Term.(const run $ seed $ scale $ horizon $ jobs)
 
 let topology_cmd =
   let run seed scale out =
@@ -271,7 +294,8 @@ let mrt_cmd =
     Term.(const run $ seed $ scale $ hours $ out)
 
 let lint_cmd =
-  let run seed scale json rules fail_on max_prefixes no_determinism list_rules =
+  let run seed scale json rules fail_on max_prefixes no_determinism list_rules
+      jobs =
     if list_rules then
       List.iter
         (fun (r : Diag.rule) ->
@@ -301,7 +325,12 @@ let lint_cmd =
           (Addressing.count s.Scenario.addressing)
           (Consensus.n_relays s.Scenario.consensus) seed;
       let diags =
-        Lint.run ?rules ~max_prefixes ~determinism:(not no_determinism) s
+        (* Stats would corrupt --json output, so only text mode prints
+           them; the exit below must also happen after the pool is torn
+           down, hence outside [with_exec]. *)
+        with_exec ~show_stats:(not json) jobs (fun exec ->
+            Lint.run ?rules ~max_prefixes ~determinism:(not no_determinism)
+              ~exec s)
       in
       if json then Diag.report_json fmt diags else Diag.report_text fmt diags;
       let code = Diag.exit_code ~fail_on diags in
@@ -342,7 +371,7 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"Statically verify routing-world invariants of a seeded scenario")
     Term.(const run $ seed $ scale $ json $ rules $ fail_on $ max_prefixes
-          $ no_determinism $ list_rules)
+          $ no_determinism $ list_rules $ jobs)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

@@ -35,12 +35,26 @@ module Workspace : sig
       workspace removes that allocation entirely.
 
       A workspace grows to fit the largest graph it has served and is
-      reset in place on every use. It is single-threaded scratch space:
-      an outcome computed through a workspace {e aliases} its arrays, so
-      the next [compute ~workspace] call on the same workspace
-      {b invalidates all previous outcomes} it produced. Use a workspace
-      only where each outcome is consumed before the next compute —
-      never for outcomes that are stored (e.g. in a {!Route_cache}). *)
+      reset in place on every use.
+
+      {b Aliasing and invalidation.} An outcome computed through a
+      workspace {e aliases} the workspace's arrays — it is a view, not a
+      copy. The next [compute ~workspace] call on the same workspace
+      resets those arrays in place and therefore {b invalidates every
+      previous outcome} it produced: reading a retained outcome after the
+      next compute observes the new prefix's routes, silently. Use a
+      workspace only where each outcome is fully consumed before the next
+      compute — never for outcomes that are stored (e.g. in a
+      {!Route_cache}, which must use plain [compute]). A regression test
+      in [test/test_bgp.ml] pins this clobbering behaviour down.
+
+      {b One workspace per domain.} A workspace is single-threaded
+      scratch: two domains computing through the same workspace race on
+      the same arrays and corrupt both outcomes. Code that runs inside
+      {!Qs_exec.Pool} tasks must allocate its workspace through
+      [Pool.per_domain Workspace.create] and fetch it with [Pool.get], so
+      each domain reuses its own instance ([Lint.run] is the template).
+      Sharing one workspace across domains is never sound, even briefly. *)
 
   val create : unit -> t
   (** An empty workspace; arrays are sized lazily by the first use. *)

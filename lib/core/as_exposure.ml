@@ -8,24 +8,36 @@ type t = {
   per_prefix_union : (Prefix.t * int) list;
 }
 
-let compute ?(threshold = 300.) (m : Measurement.t) =
+let compute ?(threshold = 300.) ?exec (m : Measurement.t) =
+  let pool = match exec with Some p -> p | None -> Pool.default () in
+  (* Only cases where the prefix had a baseline path on the session, as in
+     the paper (the baseline is "the first path used at the beginning of
+     the month"). *)
+  let cases =
+    m.Measurement.cells
+    |> List.filter (fun (c : Measurement.cell) ->
+        Measurement.is_tor m c.Measurement.key.Measurement.prefix
+        && c.Measurement.baseline <> None)
+    |> Array.of_list
+  in
+  (* The residency scans are the expensive part and are independent per
+     cell; the union/extras accumulation below stays sequential in cell
+     order, so the result matches the single-threaded one exactly. *)
+  let sets =
+    Pool.map pool (fun c -> Measurement.extra_ases ~threshold c) cases
+  in
   let extras = ref [] in
   let union = Prefix.Table.create 256 in
-  List.iter
-    (fun (c : Measurement.cell) ->
+  Array.iteri
+    (fun i (c : Measurement.cell) ->
        let p = c.Measurement.key.Measurement.prefix in
-       (* Only cases where the prefix had a baseline path on the session,
-          as in the paper (the baseline is "the first path used at the
-          beginning of the month"). *)
-       if Measurement.is_tor m p && c.Measurement.baseline <> None then begin
-         let set = Measurement.extra_ases ~threshold c in
-         extras := Asn.Set.cardinal set :: !extras;
-         let cur =
-           Option.value ~default:Asn.Set.empty (Prefix.Table.find_opt union p)
-         in
-         Prefix.Table.replace union p (Asn.Set.union cur set)
-       end)
-    m.Measurement.cells;
+       let set = sets.(i) in
+       extras := Asn.Set.cardinal set :: !extras;
+       let cur =
+         Option.value ~default:Asn.Set.empty (Prefix.Table.find_opt union p)
+       in
+       Prefix.Table.replace union p (Asn.Set.union cur set))
+    cases;
   let extras = !extras in
   let samples = List.map float_of_int extras in
   let ccdf = Ccdf.of_samples (match samples with [] -> [ 0. ] | s -> s) in

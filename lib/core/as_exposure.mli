@@ -19,7 +19,10 @@ type t = {
       (** per Tor prefix: extra ASes across all its sessions *)
 }
 
-val compute : ?threshold:float -> Measurement.t -> t
-(** Default threshold 300 s (the paper's 5-minute rule). *)
+val compute : ?threshold:float -> ?exec:Pool.t -> Measurement.t -> t
+(** Default threshold 300 s (the paper's 5-minute rule). The per-case
+    residency scans run as tasks on [exec] (default {!Pool.default});
+    accumulation stays sequential in cell order, so the result is
+    byte-identical at any worker count. *)
 
 val print : Format.formatter -> t -> unit

@@ -11,21 +11,25 @@ type t = {
   max_abs_error : float;
 }
 
-let compute ~rng ?(fs = [ 0.01; 0.02; 0.05; 0.1 ])
+let compute ~rng ?exec ?(fs = [ 0.01; 0.02; 0.05; 0.1 ])
     ?(xs = [ 1; 2; 4; 8; 16; 30 ]) ?(trials = 5000) ?(universe = 2400) () =
+  let pool = match exec with Some p -> p | None -> Pool.default () in
+  let cells =
+    Array.of_list (List.concat_map (fun f -> List.map (fun x -> (f, x)) xs) fs)
+  in
+  (* One sibling stream per (f, x) cell: the Monte-Carlo columns are
+     byte-identical at any worker count. *)
   let rows =
-    List.concat_map
-      (fun f ->
-         List.map
-           (fun x ->
-              { f; x;
-                analytic_l1 = Anonymity.compromise_probability ~f ~x;
-                analytic_l3 = Anonymity.multi_guard_probability ~f ~x ~l:3;
-                monte_carlo_l1 =
-                  Anonymity.monte_carlo_compromise ~rng ~trials ~universe ~f
-                    ~exposed:x })
-           xs)
-      fs
+    Pool.map_seeded pool ~rng
+      (fun rng (f, x) ->
+         { f; x;
+           analytic_l1 = Anonymity.compromise_probability ~f ~x;
+           analytic_l3 = Anonymity.multi_guard_probability ~f ~x ~l:3;
+           monte_carlo_l1 =
+             Anonymity.monte_carlo_compromise ~rng ~trials ~universe ~f
+               ~exposed:x })
+      cells
+    |> Array.to_list
   in
   let max_abs_error =
     List.fold_left

@@ -19,10 +19,12 @@ type t = {
 }
 
 val compute :
-  rng:Rng.t -> ?fs:float list -> ?xs:int list -> ?trials:int ->
-  ?universe:int -> unit -> t
+  rng:Rng.t -> ?exec:Pool.t -> ?fs:float list -> ?xs:int list ->
+  ?trials:int -> ?universe:int -> unit -> t
 (** Defaults: f in {0.01, 0.02, 0.05, 0.1}, x in {1, 2, 4, 8, 16, 30},
-    5000 trials over a 2400-AS universe. *)
+    5000 trials over a 2400-AS universe. The (f, x) cells run as tasks on
+    [exec] (default {!Pool.default}), one {!Rng.split} stream per cell, so
+    the table is byte-identical at any worker count. *)
 
 val exposure_based :
   f:float -> l:int -> As_exposure.t -> float * float

@@ -27,11 +27,15 @@ type outcome = {
 }
 
 (* Routing outcomes are cached per (prefix, variant): clients share them,
-   and a day's path is just a forwarding-walk lookup. *)
+   and a day's path is just a forwarding-walk lookup. Client simulations
+   run as pool tasks, so the memo table is a per-domain resource — each
+   domain fills its own copy of the same pure function, which costs a few
+   redundant recomputes but never a cross-domain race (and never changes a
+   result: the cache is invisible to the outputs). *)
 type routing_pool = {
   indexed : As_graph.Indexed.t;
   variants : Link_set.t array;    (* variants.(0) is the healthy state *)
-  cache : (string * int, Propagate.t) Hashtbl.t;
+  caches : (string * int, Propagate.t) Hashtbl.t Pool.per_domain;
 }
 
 let make_pool ~rng (scenario : Scenario.t) ~failure_variants =
@@ -52,17 +56,18 @@ let make_pool ~rng (scenario : Scenario.t) ~failure_variants =
           Link_set.of_list [ (a, b) ])
   in
   { indexed = scenario.Scenario.indexed; variants;
-    cache = Hashtbl.create 1024 }
+    caches = Pool.per_domain (fun () -> Hashtbl.create 1024) }
 
 let outcome_for pool ann variant =
+  let cache = Pool.get pool.caches in
   let key = (Prefix.to_string ann.Announcement.prefix, variant) in
-  match Hashtbl.find_opt pool.cache key with
+  match Hashtbl.find_opt cache key with
   | Some o -> o
   | None ->
       let o =
         Propagate.compute pool.indexed ~failed:pool.variants.(variant) [ ann ]
       in
-      Hashtbl.replace pool.cache key o;
+      Hashtbl.replace cache key o;
       o
 
 let walk_set pool ann variant from_as =
@@ -77,65 +82,85 @@ let draw_malicious ~rng ~f scenario =
     Asn.Set.empty
     (As_graph.ases scenario.Scenario.graph)
 
-let run ~rng ?(config = default_config) ?pool ?malicious (scenario : Scenario.t) =
+(* One client's daily-communication history, self-contained so it can run
+   as a pool task: draws come only from [rng] (this client's sibling
+   stream) and routing goes through the per-domain caches of [pool]. *)
+let simulate_client ~rng ~config ~pool ~malicious (scenario : Scenario.t) =
+  let consensus = scenario.Scenario.consensus in
+  let client_as = Scenario.random_client_as ~rng scenario in
+  let destination = Scenario.random_client_as ~rng scenario in
+  let dest_ann =
+    match Addressing.prefixes_of scenario.Scenario.addressing destination with
+    | p :: _ -> Announcement.originate destination p
+    | [] ->
+        (* every AS has prefixes by construction *)
+        invalid_arg "Long_term: destination AS originates no prefix"
+  in
+  let guards = ref (Path_selection.pick_guards ~rng consensus ~n:config.n_guards) in
+  let guards_age = ref 0 in
+  let compromised = ref None in
+  let exposed_total = ref 0. and exposed_days = ref 0 in
+  let day = ref 1 in
+  while !compromised = None && !day <= config.horizon_days do
+    (* today's entry relay *)
+    let entry =
+      if config.use_guards then Rng.pick_list rng !guards
+      else Path_selection.pick_weighted ~rng (Consensus.guards consensus)
+    in
+    let exit =
+      Path_selection.pick_weighted ~rng (Consensus.exits consensus)
+    in
+    let variant = Rng.int rng (Array.length pool.variants) in
+    (match Scenario.guard_announcement scenario entry with
+     | None -> ()
+     | Some entry_ann ->
+         let entry_set = walk_set pool entry_ann variant client_as in
+         let exit_set = walk_set pool dest_ann variant exit.Relay.asn in
+         exposed_total :=
+           !exposed_total +. float_of_int (Asn.Set.cardinal entry_set);
+         incr exposed_days;
+         let sees set = not (Asn.Set.is_empty (Asn.Set.inter malicious set)) in
+         if sees entry_set && sees exit_set then compromised := Some !day);
+    (* guard rotation *)
+    incr guards_age;
+    if config.use_guards && !guards_age >= config.rotation_days then begin
+      guards := Path_selection.pick_guards ~rng consensus ~n:config.n_guards;
+      guards_age := 0
+    end;
+    incr day
+  done;
+  (!compromised, !exposed_total, !exposed_days)
+
+let run ~rng ?(config = default_config) ?pool ?malicious ?exec
+    (scenario : Scenario.t) =
+  let workers = match exec with Some p -> p | None -> Pool.default () in
   let pool =
     match pool with
     | Some p -> p
     | None -> make_pool ~rng scenario ~failure_variants:config.failure_variants
   in
-  let consensus = scenario.Scenario.consensus in
   (* One colluding malicious-AS draw shared by all clients of this run. *)
   let malicious =
     match malicious with
     | Some m -> m
     | None -> draw_malicious ~rng ~f:config.f scenario
   in
+  (* Clients are the parallel unit: each gets its own sibling stream, and
+     the per-client triples are reduced in client order below, so the
+     outcome is identical at any worker count. *)
+  let per_client =
+    Pool.map_seeded workers ~rng
+      (fun rng () -> simulate_client ~rng ~config ~pool ~malicious scenario)
+      (Array.make config.n_clients ())
+  in
   let first_compromise = ref [] in
   let exposed_total = ref 0. and exposed_days = ref 0 in
-  for _ = 1 to config.n_clients do
-    let client_as = Scenario.random_client_as ~rng scenario in
-    let destination = Scenario.random_client_as ~rng scenario in
-    let dest_ann =
-      match Addressing.prefixes_of scenario.Scenario.addressing destination with
-      | p :: _ -> Announcement.originate destination p
-      | [] ->
-          (* every AS has prefixes by construction *)
-          invalid_arg "Long_term: destination AS originates no prefix"
-    in
-    let guards = ref (Path_selection.pick_guards ~rng consensus ~n:config.n_guards) in
-    let guards_age = ref 0 in
-    let compromised = ref None in
-    let day = ref 1 in
-    while !compromised = None && !day <= config.horizon_days do
-      (* today's entry relay *)
-      let entry =
-        if config.use_guards then Rng.pick_list rng !guards
-        else Path_selection.pick_weighted ~rng (Consensus.guards consensus)
-      in
-      let exit =
-        Path_selection.pick_weighted ~rng (Consensus.exits consensus)
-      in
-      let variant = Rng.int rng (Array.length pool.variants) in
-      (match Scenario.guard_announcement scenario entry with
-       | None -> ()
-       | Some entry_ann ->
-           let entry_set = walk_set pool entry_ann variant client_as in
-           let exit_set = walk_set pool dest_ann variant exit.Relay.asn in
-           exposed_total :=
-             !exposed_total +. float_of_int (Asn.Set.cardinal entry_set);
-           incr exposed_days;
-           let sees set = not (Asn.Set.is_empty (Asn.Set.inter malicious set)) in
-           if sees entry_set && sees exit_set then compromised := Some !day);
-      (* guard rotation *)
-      incr guards_age;
-      if config.use_guards && !guards_age >= config.rotation_days then begin
-        guards := Path_selection.pick_guards ~rng consensus ~n:config.n_guards;
-        guards_age := 0
-      end;
-      incr day
-    done;
-    first_compromise := !compromised :: !first_compromise
-  done;
+  Array.iter
+    (fun (compromised, exposed, days) ->
+       first_compromise := compromised :: !first_compromise;
+       exposed_total := !exposed_total +. exposed;
+       exposed_days := !exposed_days + days)
+    per_client;
   let compromised_days = List.filter_map Fun.id !first_compromise in
   let label =
     if not config.use_guards then "no guards (fresh relay daily)"
@@ -182,7 +207,7 @@ let merge label outcomes =
     clients }
 
 let compare_designs ~rng ?(horizon_days = 120) ?(f = 0.05) ?(n_draws = 10)
-    scenario =
+    ?exec scenario =
   (* The adversary draw dominates the variance (a handful of malicious ASes
      either sit on transit paths or do not), so we average each design over
      [n_draws] independent adversaries, all sharing one routing pool. *)
@@ -197,7 +222,9 @@ let compare_designs ~rng ?(horizon_days = 120) ?(f = 0.05) ?(n_draws = 10)
   let per_draw =
     List.init n_draws (fun _ ->
         let malicious = draw_malicious ~rng ~f scenario in
-        List.map (fun config -> run ~rng ~config ~pool ~malicious scenario) designs)
+        List.map
+          (fun config -> run ~rng ~config ~pool ~malicious ?exec scenario)
+          designs)
   in
   List.mapi
     (fun i _ ->

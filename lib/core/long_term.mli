@@ -43,23 +43,29 @@ type outcome = {
 }
 
 type routing_pool
-(** Cached per-(prefix, routing-variant) outcomes, shareable across runs. *)
+(** Cached per-(prefix, routing-variant) outcomes, shareable across runs.
+    The memo table behind it is a {!Pool.per_domain} resource: each worker
+    domain fills its own copy, so a pool can be shared by parallel client
+    simulations without locking and without affecting any result. *)
 
 val make_pool :
   rng:Rng.t -> Scenario.t -> failure_variants:int -> routing_pool
 
 val run :
   rng:Rng.t -> ?config:config -> ?pool:routing_pool -> ?malicious:Asn.Set.t ->
-  Scenario.t -> outcome
+  ?exec:Pool.t -> Scenario.t -> outcome
 (** One configuration. [malicious] overrides the random adversary draw
-    (used to compare designs against the same adversary). Deterministic
-    given [rng]. *)
+    (used to compare designs against the same adversary). Clients simulate
+    as tasks on [exec] (default {!Pool.default}), one {!Rng.split} stream
+    per client, reduced in client order — the outcome is byte-identical at
+    any worker count, and deterministic given [rng]. *)
 
 val compare_designs :
-  rng:Rng.t -> ?horizon_days:int -> ?f:float -> ?n_draws:int -> Scenario.t ->
-  outcome list
+  rng:Rng.t -> ?horizon_days:int -> ?f:float -> ?n_draws:int -> ?exec:Pool.t ->
+  Scenario.t -> outcome list
 (** The §2 comparison: no guards vs 3/30d vs 1/270d vs 3/never. Each design
     faces the same [n_draws] (default 10) independent adversary draws, with
-    a shared routing pool; results are aggregated over all draws. *)
+    a shared routing pool; results are aggregated over all draws. [exec]
+    parallelises the client simulations inside each run. *)
 
 val print : Format.formatter -> outcome list -> unit

@@ -8,7 +8,19 @@ type t = {
   busiest : (Prefix.t * Update.session_id * int) option;
 }
 
-let compute (m : Measurement.t) =
+let compare_keys (ca, pa) (cb, pb) =
+  match String.compare ca cb with 0 -> Int.compare pa pb | c -> c
+
+(* One session's statistics, computed independently of every other
+   session — the parallel unit of [compute]. *)
+type session_stats = {
+  s_id : Update.session_id;
+  s_median : float;
+  s_tor : (Prefix.t * float * int) list;   (* (prefix, ratio, changes) *)
+}
+
+let compute ?exec (m : Measurement.t) =
+  let pool = match exec with Some p -> p | None -> Pool.default () in
   (* Group cells by session. *)
   let by_session = Hashtbl.create 128 in
   List.iter
@@ -18,44 +30,63 @@ let compute (m : Measurement.t) =
        let cur = Option.value ~default:[] (Hashtbl.find_opt by_session key) in
        Hashtbl.replace by_session key (c :: cur))
     m.Measurement.cells;
+  (* Canonical session order: results no longer depend on hash-table
+     iteration order, so the reduce below is stable at any worker count. *)
+  let sessions =
+    Hashtbl.fold (fun key cells acc -> (key, cells) :: acc) by_session []
+    |> List.sort (fun (a, _) (b, _) -> compare_keys a b)
+    |> Array.of_list
+  in
+  let stats =
+    Pool.map pool
+      (fun (_, cells) ->
+         match cells with
+         | [] -> None
+         | (first : Measurement.cell) :: _ ->
+             let session = first.Measurement.key.Measurement.session in
+             let all_changes =
+               List.map (fun c -> float_of_int c.Measurement.path_changes) cells
+             in
+             let median = Stats.median all_changes in
+             (* Ratios are only defined where the session's median is
+                nonzero; the paper's sessions all saw background churn. We
+                floor the median at 1 change to keep ratios finite, which
+                only makes the comparison harder for Tor prefixes. *)
+             let denom = Float.max 1. median in
+             let tor =
+               List.filter_map
+                 (fun (c : Measurement.cell) ->
+                    let p = c.Measurement.key.Measurement.prefix in
+                    if Measurement.is_tor m p then
+                      Some (p,
+                            float_of_int c.Measurement.path_changes /. denom,
+                            c.Measurement.path_changes)
+                    else None)
+                 cells
+             in
+             Some { s_id = session; s_median = median; s_tor = tor })
+      sessions
+  in
   let ratios = ref [] in
   let per_session_median = ref [] in
   let beating = Prefix.Table.create 256 in   (* Tor prefix -> beat somewhere *)
   let tor_seen = Prefix.Table.create 256 in
   let busiest = ref None in
-  Hashtbl.iter
-    (fun _ cells ->
-       match cells with
-       | [] -> ()
-       | (first : Measurement.cell) :: _ ->
-           let session = first.Measurement.key.Measurement.session in
-           let all_changes =
-             List.map (fun c -> float_of_int c.Measurement.path_changes) cells
-           in
-           let median = Stats.median all_changes in
-           per_session_median := (session, median) :: !per_session_median;
-           (* Ratios are only defined where the session's median is
-              nonzero; the paper's sessions all saw background churn. We
-              floor the median at 1 change to keep ratios finite, which
-              only makes the comparison harder for Tor prefixes. *)
-           let denom = Float.max 1. median in
-           List.iter
-             (fun (c : Measurement.cell) ->
-                let p = c.Measurement.key.Measurement.prefix in
-                if Measurement.is_tor m p then begin
-                  Prefix.Table.replace tor_seen p ();
-                  let r = float_of_int c.Measurement.path_changes /. denom in
-                  ratios := r :: !ratios;
-                  if r > 1. then Prefix.Table.replace beating p ();
-                  (match !busiest with
-                   | Some (_, _, best) when best >= c.Measurement.path_changes -> ()
-                   | _ ->
-                       busiest :=
-                         Some (p, c.Measurement.key.Measurement.session,
-                               c.Measurement.path_changes))
-                end)
-             cells)
-    by_session;
+  Array.iter
+    (function
+      | None -> ()
+      | Some s ->
+          per_session_median := (s.s_id, s.s_median) :: !per_session_median;
+          List.iter
+            (fun (p, r, changes) ->
+               Prefix.Table.replace tor_seen p ();
+               ratios := r :: !ratios;
+               if r > 1. then Prefix.Table.replace beating p ();
+               match !busiest with
+               | Some (_, _, best) when best >= changes -> ()
+               | _ -> busiest := Some (p, s.s_id, changes))
+            s.s_tor)
+    stats;
   let ratios = !ratios in
   let ccdf = Ccdf.of_samples (match ratios with [] -> [ 0. ] | r -> r) in
   let n = float_of_int (max 1 (List.length ratios)) in

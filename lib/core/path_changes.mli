@@ -20,6 +20,10 @@ type t = {
       (** the (prefix, session, changes) with the most changes *)
 }
 
-val compute : Measurement.t -> t
+val compute : ?exec:Pool.t -> Measurement.t -> t
+(** Per-session statistics run as tasks on [exec] (default
+    {!Pool.default}); sessions are processed in a canonical sorted order
+    and reduced sequentially, so the result — including tie-breaks in
+    [busiest] — is identical at any worker count. *)
 
 val print : Format.formatter -> t -> unit

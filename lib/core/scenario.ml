@@ -38,33 +38,50 @@ let build ~seed size =
 
 let sessions t = Collector.all_sessions t.collectors
 
-let fingerprint t =
-  let buf = Buffer.create (1 lsl 16) in
-  Buffer.add_string buf (As_graph.to_caida_string t.graph);
-  Buffer.add_string buf (Consensus.to_string t.consensus);
-  List.iter
-    (fun (p, o) ->
-       Buffer.add_string buf (Prefix.to_string p);
-       Buffer.add_char buf ' ';
-       Buffer.add_string buf (Asn.to_string o);
-       Buffer.add_char buf '\n')
-    (Addressing.announced t.addressing);
-  List.iter
-    (fun (s : Collector.session) ->
-       Buffer.add_string buf s.Collector.id.Update.collector;
-       Buffer.add_char buf ' ';
-       Buffer.add_string buf (Asn.to_string s.Collector.id.Update.peer);
-       Buffer.add_char buf ' ';
-       Buffer.add_string buf (Ipv4.to_string s.Collector.peer_ip);
-       Buffer.add_char buf ' ';
-       Buffer.add_string buf
-         (match s.Collector.feed with
-          | Collector.Full -> "full"
-          | Collector.Customer_and_peer -> "customer+peer"
-          | Collector.Customer_only -> "customer");
-       Buffer.add_char buf '\n')
-    (sessions t);
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+(* The four externally-visible sections of a scenario, each rendered to a
+   canonical string. Kept as thunks so [fingerprint] can render and digest
+   them as pool tasks — each thunk only reads the (frozen) scenario. *)
+let fingerprint_sections t : (unit -> string) array =
+  [| (fun () -> As_graph.to_caida_string t.graph);
+     (fun () -> Consensus.to_string t.consensus);
+     (fun () ->
+        let buf = Buffer.create (1 lsl 12) in
+        List.iter
+          (fun (p, o) ->
+             Buffer.add_string buf (Prefix.to_string p);
+             Buffer.add_char buf ' ';
+             Buffer.add_string buf (Asn.to_string o);
+             Buffer.add_char buf '\n')
+          (Addressing.announced t.addressing);
+        Buffer.contents buf);
+     (fun () ->
+        let buf = Buffer.create (1 lsl 10) in
+        List.iter
+          (fun (s : Collector.session) ->
+             Buffer.add_string buf s.Collector.id.Update.collector;
+             Buffer.add_char buf ' ';
+             Buffer.add_string buf (Asn.to_string s.Collector.id.Update.peer);
+             Buffer.add_char buf ' ';
+             Buffer.add_string buf (Ipv4.to_string s.Collector.peer_ip);
+             Buffer.add_char buf ' ';
+             Buffer.add_string buf
+               (match s.Collector.feed with
+                | Collector.Full -> "full"
+                | Collector.Customer_and_peer -> "customer+peer"
+                | Collector.Customer_only -> "customer");
+             Buffer.add_char buf '\n')
+          (sessions t);
+        Buffer.contents buf) |]
+
+let fingerprint ?exec t =
+  let pool = match exec with Some p -> p | None -> Pool.default () in
+  let section_digests =
+    Pool.map pool
+      (fun render -> Digest.to_hex (Digest.string (render ())))
+      (fingerprint_sections t)
+  in
+  Digest.to_hex
+    (Digest.string (String.concat "+" (Array.to_list section_digests)))
 
 let rng_for t name =
   (* Derive a stream from the seed and the experiment name only, so that

@@ -27,11 +27,15 @@ val build : seed:int -> size -> t
 
 val sessions : t -> Collector.session list
 
-val fingerprint : t -> string
+val fingerprint : ?exec:Pool.t -> t -> string
 (** A digest over every externally-visible piece of the scenario —
     topology, consensus, address plan, collector sessions. Two builds
     from the same seed and size must produce equal fingerprints; the
-    [QS301] lint rule enforces exactly that. *)
+    [QS301] lint rule enforces exactly that. The four sections are
+    rendered and digested as tasks on [exec] (default {!Pool.default})
+    and combined in a fixed order, so the digest is independent of the
+    worker count — the [QS305] lint rule recomputes it at [jobs = 1] and
+    [jobs = 2] and flags any disagreement. *)
 
 val rng_for : t -> string -> Rng.t
 (** A deterministic RNG stream for a named sub-experiment, independent of

@@ -29,23 +29,36 @@ let sample_prefixes ~max_prefixes listing =
     let k = (n + max_prefixes - 1) / max_prefixes in
     List.filteri (fun i _ -> i mod k = 0) listing
 
-let run ?rules ?(max_prefixes = 512) ?(determinism = true) (s : Scenario.t) =
+let run ?rules ?(max_prefixes = 512) ?(determinism = true) ?exec
+    (s : Scenario.t) =
+  let pool = match exec with Some p -> p | None -> Pool.default () in
   let g = s.Scenario.graph in
   let topology = Topology_lint.check g in
+  (* Per-prefix tables are recomputed as pool tasks. Each domain gets its
+     own scratch workspace ("one workspace per domain", see
+     [Propagate.Workspace]); the table must be checked inside the task
+     that computed it, because the next compute through the same
+     workspace clobbers it. [Pool.map_list] keeps sampled-prefix order,
+     so the diagnostics come out in the same order at any worker count. *)
+  let workspaces = Pool.per_domain Propagate.Workspace.create in
   let routing =
     sample_prefixes ~max_prefixes (Addressing.announced s.Scenario.addressing)
-    |> List.concat_map (fun (p, o) ->
+    |> Pool.map_list pool (fun (p, o) ->
         let table =
           Propagate.compute s.Scenario.indexed
-            ~workspace:s.Scenario.workspace
+            ~workspace:(Pool.get workspaces)
             [ Announcement.originate o p ]
         in
         Routing_lint.check_table g table)
+    |> List.concat
   in
   let addressing = Addressing_lint.check s.Scenario.addressing s.Scenario.consensus in
   let scenario =
     Scenario_lint.check_collectors g s.Scenario.addressing s.Scenario.collectors
-    @ (if determinism then Scenario_lint.check_determinism s else [])
+    @ (if determinism then
+         Scenario_lint.check_determinism s
+         @ Scenario_lint.check_parallel_fingerprint s
+       else [])
   in
   let diags = routing @ topology @ addressing @ scenario in
   match rules with None -> diags | Some rules -> select ~rules diags

@@ -21,9 +21,15 @@ let update_stream_hygiene =
     doc = "an emitted update stream left the measurement horizon or went \
            backwards in time" }
 
+let parallel_fingerprint_divergence =
+  { Diag.code = "QS305"; slug = "parallel-fingerprint-divergence";
+    severity = Diag.Error;
+    doc = "Scenario.fingerprint disagrees between a jobs=1 and a jobs=2 \
+           executor pool" }
+
 let rules =
   [ nondeterministic_build; dead_collector_peer; collector_peer_ip;
-    update_stream_hygiene ]
+    update_stream_hygiene; parallel_fingerprint_divergence ]
 
 let check_collectors g addressing collectors =
   collectors
@@ -89,6 +95,23 @@ let check_update_stream ~duration updates =
        last := Float.max !last t;
        horizon @ order)
     updates
+
+let check_parallel_fingerprint ?fingerprint (s : Scenario.t) =
+  let fingerprint =
+    match fingerprint with
+    | Some f -> f
+    | None -> fun ~exec -> Scenario.fingerprint ~exec s
+  in
+  let sequential = Pool.with_pool ~jobs:1 (fun exec -> fingerprint ~exec) in
+  let parallel = Pool.with_pool ~jobs:2 (fun exec -> fingerprint ~exec) in
+  if String.equal sequential parallel then []
+  else
+    [ Diag.msgf parallel_fingerprint_divergence
+        ~context:
+          [ ("seed", string_of_int s.Scenario.seed);
+            ("jobs1", sequential); ("jobs2", parallel) ]
+        "fingerprint of seed %d differs between jobs=1 (%s) and jobs=2 (%s)"
+        s.Scenario.seed sequential parallel ]
 
 let check_determinism (s : Scenario.t) =
   let rebuilt = Scenario.build ~seed:s.Scenario.seed s.Scenario.size in

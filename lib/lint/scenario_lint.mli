@@ -26,6 +26,11 @@ val update_stream_hygiene : Diag.rule
     {!Dynamics.run} promises both (late-scheduled updates are dropped and
     counted in [post_horizon_dropped], never emitted). *)
 
+val parallel_fingerprint_divergence : Diag.rule
+(** [QS305]: {!Scenario.fingerprint} computed over a [jobs = 1] pool and a
+    [jobs = 2] pool disagreed — the executor's determinism guarantee is
+    broken for this scenario. *)
+
 val rules : Diag.rule list
 
 val check_collectors :
@@ -39,3 +44,10 @@ val check_update_stream : duration:float -> Update.t list -> Diag.t list
 val check_determinism : Scenario.t -> Diag.t list
 (** Rebuilds the scenario from its own seed and size and compares
     {!Scenario.fingerprint}s. Costs one extra scenario build. *)
+
+val check_parallel_fingerprint :
+  ?fingerprint:(exec:Pool.t -> string) -> Scenario.t -> Diag.t list
+(** The [QS305] check: computes the scenario fingerprint over a fresh
+    [jobs = 1] pool and a fresh [jobs = 2] pool and compares. [fingerprint]
+    overrides the digest function (tests use it to force a firing); the
+    default is [Scenario.fingerprint ~exec] of the given scenario. *)

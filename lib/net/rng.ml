@@ -19,6 +19,10 @@ let int64 t = mix (next_raw t)
 
 let split t = create (int64 t)
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively.

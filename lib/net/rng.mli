@@ -20,6 +20,16 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     independent of [t]'s subsequent output. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] splits [n] sibling generators off [t], in order: element
+    [i] depends only on [t]'s state at the call and on [i], so the array is
+    stable however its elements are later consumed. This is the sharding
+    primitive of the parallel executor ({!Qs_exec.Pool.map_seeded}): give
+    shard [i] stream [i] and a sweep is reproducible at any worker count.
+    Sibling streams are statistically independent of each other and of
+    [t]'s subsequent output.
+    @raise Invalid_argument if [n < 0]. *)
+
 val int64 : t -> int64
 (** [int64 t] returns the next raw 64-bit output. *)
 

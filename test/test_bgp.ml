@@ -185,6 +185,35 @@ let test_propagate_rejects () =
     (Invalid_argument "Propagate.compute: no announcements")
     (fun () -> ignore (Propagate.compute (diamond ()) []))
 
+(* Regression for the Workspace aliasing contract: an outcome computed
+   through a workspace is a view over the workspace's arrays, so the next
+   compute through the same workspace clobbers it in place. If this test
+   ever starts failing, outcomes have become copies and every hot path
+   that relies on workspace reuse is silently allocating again. *)
+let test_workspace_clobbers_retained_outcome () =
+  let ix = diamond () in
+  let ws = Propagate.Workspace.create () in
+  let hop outcome a = Option.map Asn.to_int (Propagate.next_hop outcome a) in
+  let first = Propagate.compute ix ~workspace:ws [ origin4 ] in
+  Alcotest.(check (option int)) "fresh outcome: 2 forwards to its customer 4"
+    (Some 4) (hop first (asn 2));
+  (* Same workspace, different origin: 4's prefix now originates at 1, so
+     AS 2's best route flips to its provider. *)
+  let second =
+    Propagate.compute ix ~workspace:ws
+      [ Announcement.originate (asn 1) (pfx "10.0.0.0/24") ]
+  in
+  Alcotest.(check (option int)) "second outcome: 2 forwards to provider 1"
+    (Some 1) (hop second (asn 2));
+  Alcotest.(check (option int))
+    "retained first outcome was clobbered by the second compute"
+    (Some 1) (hop first (asn 2));
+  (* A workspace-free compute over the same inputs is unaffected. *)
+  let plain = Propagate.compute ix [ origin4 ] in
+  let _ = Propagate.compute ix ~workspace:ws [ origin4 ] in
+  Alcotest.(check (option int)) "plain outcomes are stable"
+    (Some 4) (hop plain (asn 2))
+
 let prop_propagate_valley_free =
   QCheck.Test.make ~name:"propagation yields valley-free loop-free paths"
     ~count:15 QCheck.(int_bound 10_000)
@@ -840,7 +869,9 @@ let () =
          Alcotest.test_case "multiple origins" `Quick test_propagate_multi_origin;
          Alcotest.test_case "forwarding path" `Quick test_propagate_forwarding_path;
          Alcotest.test_case "candidates" `Quick test_propagate_candidates;
-         Alcotest.test_case "rejects empty" `Quick test_propagate_rejects ]
+         Alcotest.test_case "rejects empty" `Quick test_propagate_rejects;
+         Alcotest.test_case "workspace clobbers retained outcome" `Quick
+           test_workspace_clobbers_retained_outcome ]
        @ qsuite [ prop_propagate_valley_free; prop_propagate_connected_coverage;
                   prop_propagate_failure_valley_free ]);
       ("mrt",

@@ -378,6 +378,77 @@ let test_guard_inference () =
   in
   check_bool "probing more beats probing once" true (rate 12 >= rate 1)
 
+(* ---- Parallel determinism --------------------------------------------- *)
+
+(* The executor's contract: every experiment that takes [?exec] must print
+   byte-identical output at jobs=1 and jobs=N. Rendering through the real
+   [print] functions compares everything the user can see — row order,
+   tie-breaks, float formatting — not just a summary statistic. *)
+
+let render print v =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  print ppf v;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let prop_compromise_jobs_identical =
+  QCheck.Test.make ~name:"M1 byte-identical at jobs=1 and jobs=4" ~count:5
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+       let table jobs =
+         Pool.with_pool ~jobs (fun exec ->
+             render Compromise.print
+               (Compromise.compute ~rng:(Rng.of_int seed) ~exec ~trials:400
+                  ~universe:600 ()))
+       in
+       String.equal (table 1) (table 4))
+
+let prop_long_term_jobs_identical =
+  QCheck.Test.make ~name:"M2 byte-identical at jobs=1 and jobs=4" ~count:3
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+       let s = Lazy.force scenario in
+       let table jobs =
+         Pool.with_pool ~jobs (fun exec ->
+             render Long_term.print
+               (Long_term.compare_designs ~rng:(Rng.of_int seed)
+                  ~horizon_days:30 ~n_draws:2 ~exec s))
+       in
+       String.equal (table 1) (table 4))
+
+let prop_as_exposure_jobs_identical =
+  QCheck.Test.make ~name:"F3R byte-identical at jobs=1 and jobs=4" ~count:5
+    QCheck.(int_range 1 30)
+    (fun minutes ->
+       let m = Lazy.force measurement in
+       let threshold = float_of_int (60 * minutes) in
+       let table jobs =
+         Pool.with_pool ~jobs (fun exec ->
+             render As_exposure.print (As_exposure.compute ~threshold ~exec m))
+       in
+       String.equal (table 1) (table 4))
+
+let test_path_changes_jobs_identical () =
+  let m = Lazy.force measurement in
+  let table jobs =
+    Pool.with_pool ~jobs (fun exec ->
+        render Path_changes.print (Path_changes.compute ~exec m))
+  in
+  Alcotest.(check string) "F3L byte-identical at jobs=1 and jobs=4"
+    (table 1) (table 4);
+  Alcotest.(check string) "and at jobs=2" (table 1) (table 2)
+
+let test_fingerprint_jobs_identical () =
+  let s = Lazy.force scenario in
+  let fp jobs =
+    Pool.with_pool ~jobs (fun exec -> Scenario.fingerprint ~exec s)
+  in
+  Alcotest.(check string) "fingerprint identical at jobs=1 and jobs=4"
+    (fp 1) (fp 4)
+
+let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
+
 let () =
   Alcotest.run "qs_core"
     [ ("scenario",
@@ -415,4 +486,12 @@ let () =
          Alcotest.test_case "M2 guard designs" `Quick test_long_term_designs;
          Alcotest.test_case "M2 monotone in f" `Quick test_long_term_monotone_in_f;
          Alcotest.test_case "X3 convergence leak" `Quick test_convergence_leak;
-         Alcotest.test_case "GI guard inference" `Quick test_guard_inference ]) ]
+         Alcotest.test_case "GI guard inference" `Quick test_guard_inference ]);
+      ("parallel determinism",
+       [ Alcotest.test_case "F3L jobs identity" `Quick
+           test_path_changes_jobs_identical;
+         Alcotest.test_case "fingerprint jobs identity" `Quick
+           test_fingerprint_jobs_identical ]
+       @ qsuite
+           [ prop_compromise_jobs_identical; prop_long_term_jobs_identical;
+             prop_as_exposure_jobs_identical ]) ]

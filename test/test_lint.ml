@@ -302,6 +302,46 @@ let test_fingerprint_deterministic () =
   check_int "QS301 silent" 0
     (List.length (Scenario_lint.check_determinism s1))
 
+let test_qs305_registered () =
+  check_bool "QS305 in the registry" true
+    (match Lint.find_rule "QS305" with
+     | Some r -> r.Diag.slug = "parallel-fingerprint-divergence"
+     | None -> false);
+  check_bool "by slug too" true
+    (Lint.find_rule "parallel-fingerprint-divergence" <> None)
+
+let test_qs305_clean () =
+  check_int "QS305 silent on a real scenario" 0
+    (List.length (Scenario_lint.check_parallel_fingerprint (Lazy.force scenario)))
+
+let test_qs305_fires () =
+  (* Inject a jobs-dependent digest: a genuine divergence is (by design)
+     impossible to produce through the real fingerprint, so the firing
+     path is exercised with a digest that leaks the pool width. *)
+  let diags =
+    Scenario_lint.check_parallel_fingerprint
+      ~fingerprint:(fun ~exec -> string_of_int (Pool.jobs exec))
+      (Lazy.force scenario)
+  in
+  check_bool "QS305 fires on a jobs-dependent digest" true (fires "QS305" diags);
+  check_int "exactly one finding" 1 (List.length diags);
+  check_bool "severity error" true
+    (List.for_all (fun d -> d.Diag.rule.Diag.severity = Diag.Error) diags)
+
+let test_lint_run_jobs_identical () =
+  (* The per-prefix sampling sweep must report the same findings, in the
+     same order, at any worker count (determinism off: one scenario
+     rebuild per Lint.run is enough for this test). *)
+  let s = Lazy.force scenario in
+  let report jobs =
+    Pool.with_pool ~jobs (fun exec ->
+        Lint.run ~determinism:false ~max_prefixes:64 ~exec s
+        |> List.map (Format.asprintf "%a" Diag.pp)
+        |> String.concat "\n")
+  in
+  Alcotest.(check string) "lint byte-identical at jobs=1 and jobs=4"
+    (report 1) (report 4)
+
 let test_rule_selection () =
   let s = Lazy.force scenario in
   let diags = Lint.run ~rules:[ "QS104"; "valley-violation" ] ~determinism:false s in
@@ -350,4 +390,10 @@ let () =
            test_clean_scenario_no_errors;
          Alcotest.test_case "fingerprint deterministic" `Quick
            test_fingerprint_deterministic;
-         Alcotest.test_case "rule selection" `Quick test_rule_selection ]) ]
+         Alcotest.test_case "rule selection" `Quick test_rule_selection ]);
+      ("executor",
+       [ Alcotest.test_case "QS305 registered" `Quick test_qs305_registered;
+         Alcotest.test_case "QS305 clean" `Quick test_qs305_clean;
+         Alcotest.test_case "QS305 fires" `Quick test_qs305_fires;
+         Alcotest.test_case "lint jobs identity" `Quick
+           test_lint_run_jobs_identical ]) ]

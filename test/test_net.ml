@@ -18,6 +18,52 @@ let test_rng_split_independent () =
   let x = Rng.int64 a and y = Rng.int64 c in
   check_bool "split streams differ" true (not (Int64.equal x y))
 
+let test_rng_split_n_stable () =
+  (* split_n must be equivalent to n sequential splits, in order — the
+     executor's per-item streams depend on this exact correspondence. *)
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  let siblings = Rng.split_n a 8 in
+  let manual = Array.init 8 (fun _ -> Rng.split b) in
+  Array.iteri
+    (fun i s ->
+       Alcotest.(check int64)
+         (Printf.sprintf "sibling %d matches a sequential split" i)
+         (Rng.int64 manual.(i)) (Rng.int64 s))
+    siblings;
+  (* and the parents end up in the same state *)
+  Alcotest.(check int64) "parents advanced identically" (Rng.int64 b) (Rng.int64 a);
+  check_int "empty split allowed" 0 (Array.length (Rng.split_n (Rng.of_int 1) 0));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Rng.split_n: negative count")
+    (fun () -> ignore (Rng.split_n (Rng.of_int 1) (-1)))
+
+let test_rng_split_n_independent () =
+  (* Sibling streams must look unrelated: distinct outputs and a Pearson
+     correlation near zero between any adjacent pair. *)
+  let siblings = Rng.split_n (Rng.of_int 99) 6 in
+  let n = 2_000 in
+  let seqs =
+    Array.map (fun s -> Array.init n (fun _ -> Rng.float s 1.0)) siblings
+  in
+  for i = 0 to Array.length seqs - 2 do
+    let x = seqs.(i) and y = seqs.(i + 1) in
+    check_bool "distinct streams" true (x.(0) <> y.(0) || x.(1) <> y.(1));
+    let mean a = Array.fold_left ( +. ) 0. a /. float_of_int n in
+    let mx = mean x and my = mean y in
+    let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+    for k = 0 to n - 1 do
+      let dx = x.(k) -. mx and dy = y.(k) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    let r = !sxy /. sqrt (!sxx *. !syy) in
+    check_bool
+      (Printf.sprintf "siblings %d,%d uncorrelated (r=%g)" i (i + 1) r)
+      true
+      (Float.abs r < 0.15)
+  done
+
 let test_rng_int_bounds () =
   let rng = Rng.of_int 3 in
   for _ = 1 to 10_000 do
@@ -391,6 +437,9 @@ let () =
     [ ("rng",
        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+         Alcotest.test_case "split_n stable order" `Quick test_rng_split_n_stable;
+         Alcotest.test_case "split_n sibling independence" `Quick
+           test_rng_split_n_independent;
          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
          Alcotest.test_case "int rejects" `Quick test_rng_int_rejects;
          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;

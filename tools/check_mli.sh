@@ -8,7 +8,11 @@
 #      them): Obj.magic defeats the type system, bare Stdlib.compare is a
 #      polymorphic-comparison trap (NaN-unsound on floats, depth-first on
 #      variants), and `assert false` hides unreachable-state reasoning that
-#      should be an explicit exception.
+#      should be an explicit exception;
+#   3. raw concurrency primitives (Domain.spawn, Thread.create) must not
+#      appear outside lib/exec/ — every parallel sweep goes through
+#      Qs_exec.Pool, which is where the determinism and per-domain
+#      isolation guarantees live. Ad-hoc domains would bypass both.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -25,6 +29,13 @@ if grep -rn --include='*.ml' --include='*.mli' \
      -e 'Obj\.magic' -e 'Stdlib\.compare' -e 'assert false' \
      lib bin examples bench; then
   echo "check_mli: forbidden pattern (Obj.magic / Stdlib.compare / assert false)" >&2
+  fail=1
+fi
+
+if grep -rn --include='*.ml' --include='*.mli' \
+     -e 'Domain\.spawn' -e 'Thread\.create' \
+     lib bin examples bench | grep -v '^lib/exec/'; then
+  echo "check_mli: raw concurrency primitive outside lib/exec/ (use Qs_exec.Pool)" >&2
   fail=1
 fi
 
