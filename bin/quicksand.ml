@@ -23,6 +23,10 @@ let days =
   let doc = "Simulated measurement duration in days." in
   Arg.(value & opt float 2. & info [ "days" ] ~docv:"DAYS" ~doc)
 
+let json_flag =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit machine-readable JSON instead of text.")
+
 let jobs =
   let doc =
     "Worker domains for parallel sweeps. Results are byte-identical at any \
@@ -373,6 +377,74 @@ let lint_cmd =
     Term.(const run $ seed $ scale $ json $ rules $ fail_on $ max_prefixes
           $ no_determinism $ list_rules $ jobs)
 
+let check_cmd =
+  let run seed scale suite seeds days json =
+    let failed = ref false in
+    let run_conform () =
+      let dynamics =
+        { Dynamics.short_config with Dynamics.duration = days *. 86_400. }
+      in
+      if not json then
+        Format.printf "conformance: seed %d, %.1f simulated days@." seed days;
+      let scenario = Scenario.build ~seed scale in
+      let c = Conformance.create ~duration:dynamics.Dynamics.duration () in
+      let m =
+        Measurement.run ~dynamics ~observe:(Conformance.observe c) scenario
+      in
+      let violations =
+        Conformance.finalize ~initial:m.Measurement.initial c
+        @ Conformance.check_measurement m
+      in
+      Report.conformance ~json fmt ~observed:(Conformance.observed c)
+        violations;
+      if violations <> [] then failed := true
+    in
+    let run_diff () =
+      let seeds = List.init (if seeds = 0 then 2 else seeds) (fun i -> i + 1) in
+      if not json then
+        Format.printf "differential: %d seeds x 4 configuration pairs@."
+          (List.length seeds);
+      let outcomes = Differential.run ~seeds scale in
+      Report.differential ~json fmt outcomes;
+      if not (Differential.all_ok outcomes) then failed := true
+    in
+    let run_fuzz () =
+      let seeds = if seeds = 0 then 200 else seeds in
+      let mrt = Fuzz.mrt ~seeds () in
+      let sr = Fuzz.session_reset ~seeds () in
+      Report.fuzz ~json fmt [ ("mrt", mrt); ("session-reset", sr) ];
+      if not (Fuzz.ok mrt && Fuzz.ok sr) then failed := true
+    in
+    (match suite with
+     | `Conform -> run_conform ()
+     | `Diff -> run_diff ()
+     | `Fuzz -> run_fuzz ()
+     | `All -> run_conform (); run_diff (); run_fuzz ());
+    if !failed then Stdlib.exit 1
+  in
+  let suite =
+    Arg.(value
+         & opt (enum [ ("conform", `Conform); ("diff", `Diff);
+                       ("fuzz", `Fuzz); ("all", `All) ])
+             `All
+         & info [ "suite" ] ~docv:"SUITE"
+             ~doc:"Which harness to run: $(b,conform) (streaming invariant \
+                   checker over a full measurement), $(b,diff) \
+                   (configuration pairs that must not change results), \
+                   $(b,fuzz) (MRT codec mutation + session-reset \
+                   injection), or $(b,all).")
+  in
+  let seeds =
+    Arg.(value & opt int 0 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Seed count for $(b,diff) (default 2) and $(b,fuzz) \
+                 (default 200). Ignored by $(b,conform), which uses \
+                 $(b,--seed).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the qs_check conformance/differential/fuzz harness")
+    Term.(const run $ seed $ scale $ suite $ seeds $ days $ json_flag)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -387,4 +459,4 @@ let () =
           [ dataset_cmd; concentration_cmd; path_changes_cmd; extra_ases_cmd;
             compromise_cmd; asym_cmd; hijack_cmd; intercept_cmd; defend_cmd;
             rov_cmd; asymmetry_cmd; long_term_cmd;
-            topology_cmd; consensus_cmd; mrt_cmd; lint_cmd ]))
+            topology_cmd; consensus_cmd; mrt_cmd; lint_cmd; check_cmd ]))

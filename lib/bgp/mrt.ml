@@ -288,6 +288,14 @@ let decode data =
   done;
   List.rev !out
 
+(* Total variants for callers feeding the decoder untrusted or corrupted
+   bytes. Only [Malformed] is converted to [Error]: any other exception
+   escaping the decoder is a bug, and the fuzz harness treats it as one. *)
+let decode_result data =
+  match decode data with
+  | records -> Ok records
+  | exception Malformed msg -> Error msg
+
 let record_of_update ~local_as ~local_ip ~peer_ip (u : Update.t) =
   let message =
     match u.Update.kind with
@@ -448,6 +456,11 @@ let decode_rib data =
   done;
   { rib_time = !rib_time; collector_id = !collector_id; view_name = !view_name;
     peers = !peers; rib_entries = List.rev !entries }
+
+let decode_rib_result data =
+  match decode_rib data with
+  | rib -> Ok rib
+  | exception Malformed msg -> Error msg
 
 let rib_of_initial ~time ~collector_id ~view_name ~peer_ip initial =
   let sessions = List.map fst (Update.Session_map.bindings initial) in

@@ -36,6 +36,12 @@ val encode_record : Buffer.t -> record -> unit
 val encode : record list -> string
 val decode : string -> record list
 
+val decode_result : string -> (record list, string) result
+(** Total wrapper around {!decode} for untrusted input: [Error msg] where
+    {!decode} would raise [Malformed msg]. Never raises on malformed
+    bytes — any other exception escaping it is a decoder bug (this is the
+    property the [quicksand check --suite fuzz] mutation fuzzer pins). *)
+
 val record_of_update :
   local_as:Asn.t -> local_ip:Ipv4.t -> peer_ip:Ipv4.t -> Update.t -> record
 (** Wraps one of our collector updates as an MRT record. *)
@@ -62,6 +68,9 @@ type rib = {
 val encode_rib : rib -> string
 val decode_rib : string -> rib
 (** Round-trips with {!encode_rib}. @raise Malformed on bad input. *)
+
+val decode_rib_result : string -> (rib, string) result
+(** Total wrapper around {!decode_rib}; same contract as {!decode_result}. *)
 
 val rib_of_initial :
   time:float -> collector_id:Ipv4.t -> view_name:string ->

@@ -9,8 +9,10 @@ let default_config =
   { window = 60.; min_prefixes = 100; table_fraction = 0.5; quiet_gap = 30. }
 
 type stats = {
+  pushed : int;
   passed : int;
   dropped : int;
+  buffered : int;
   bursts : (Update.session_id * float * float) list;
 }
 
@@ -29,13 +31,15 @@ type t = {
   config : config;
   emit : Update.t -> unit;
   sessions : (Update.session_id, session_state) Hashtbl.t;
+  mutable pushed : int;
   mutable passed : int;
   mutable dropped : int;
   mutable bursts : (Update.session_id * float * float) list;
 }
 
 let create ?(config = default_config) ~emit () =
-  { config; emit; sessions = Hashtbl.create 128; passed = 0; dropped = 0; bursts = [] }
+  { config; emit; sessions = Hashtbl.create 128;
+    pushed = 0; passed = 0; dropped = 0; bursts = [] }
 
 let state t id =
   match Hashtbl.find_opt t.sessions id with
@@ -92,6 +96,7 @@ let drop_buffer t s =
   Prefix.Table.reset s.window_prefixes
 
 let push t u =
+  t.pushed <- t.pushed + 1;
   let s = state t u.Update.session in
   let now = u.Update.time in
   Prefix.Table.replace s.table (Update.prefix u) ();
@@ -121,20 +126,50 @@ let push t u =
   end;
   s.last_time <- now
 
+(* End-of-stream emission must preserve the global time order every other
+   emission path respects: a per-session [Hashtbl.iter] would interleave
+   whole session buffers in hash order, making downstream observers see
+   time jump backwards across sessions at end of month. Close open bursts
+   deterministically, collect every buffered update, sort by
+   (time, session, within-session position) and only then emit. *)
 let flush t =
-  Hashtbl.iter
-    (fun _ s ->
-       if s.in_burst then begin
-         t.bursts <- (s.id, s.burst_start, s.last_time) :: t.bursts;
-         s.in_burst <- false
-       end;
-       Queue.iter
-         (fun u ->
-            t.emit u;
-            t.passed <- t.passed + 1)
-         s.buffer;
-       Queue.clear s.buffer;
-       Prefix.Table.reset s.window_prefixes)
-    t.sessions
+  let open_bursts =
+    Hashtbl.fold (fun _ s acc -> if s.in_burst then s :: acc else acc)
+      t.sessions []
+    |> List.sort (fun a b -> Update.session_compare a.id b.id)
+  in
+  List.iter
+    (fun s ->
+       t.bursts <- (s.id, s.burst_start, s.last_time) :: t.bursts;
+       s.in_burst <- false)
+    open_bursts;
+  let buffered =
+    Hashtbl.fold
+      (fun _ s acc ->
+         let seq = ref acc and i = ref 0 in
+         Queue.iter (fun u -> seq := (u, !i) :: !seq; incr i) s.buffer;
+         Queue.clear s.buffer;
+         Prefix.Table.reset s.window_prefixes;
+         !seq)
+      t.sessions []
+  in
+  buffered
+  |> List.sort (fun ((a : Update.t), ia) ((b : Update.t), ib) ->
+      match Float.compare a.Update.time b.Update.time with
+      | 0 ->
+          (match Update.session_compare a.Update.session b.Update.session with
+           | 0 -> Int.compare ia ib
+           | c -> c)
+      | c -> c)
+  |> List.iter
+       (fun (u, _) ->
+          t.emit u;
+          t.passed <- t.passed + 1)
 
-let stats t = { passed = t.passed; dropped = t.dropped; bursts = t.bursts }
+let stats t =
+  { pushed = t.pushed;
+    passed = t.passed;
+    dropped = t.dropped;
+    buffered =
+      Hashtbl.fold (fun _ s acc -> acc + Queue.length s.buffer) t.sessions 0;
+    bursts = t.bursts }

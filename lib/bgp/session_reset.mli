@@ -26,8 +26,13 @@ type config = {
 val default_config : config
 
 type stats = {
-  passed : int;
-  dropped : int;
+  pushed : int;          (** total updates ever pushed into the filter *)
+  passed : int;          (** updates emitted downstream *)
+  dropped : int;         (** updates classified as table-transfer artifacts *)
+  buffered : int;        (** updates still held in session buffers; zero
+                             after {!flush}. The accounting identity
+                             [pushed = passed + dropped + buffered] holds at
+                             every point of the stream. *)
   bursts : (Update.session_id * float * float) list;
   (** detected transfer intervals, latest first *)
 }
@@ -42,6 +47,7 @@ val preload_table : t -> Update.session_id -> int -> unit
 
 val push : t -> Update.t -> unit
 val flush : t -> unit
-(** Emits everything still buffered. Call exactly once, at end of stream. *)
+(** Emits everything still buffered, across all sessions, in global
+    (time, session) order. Call exactly once, at end of stream. *)
 
 val stats : t -> stats

@@ -1,0 +1,106 @@
+type outcome = {
+  seed : int;
+  pair : string;
+  experiment : string;
+  ok : bool;
+  detail : string option;
+}
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "seed %d  %-22s %-12s %s" o.seed o.pair o.experiment
+    (if o.ok then "identical"
+     else "DIVERGED" ^ Option.fold ~none:"" ~some:(fun d -> ": " ^ d) o.detail)
+
+let all_ok = List.for_all (fun o -> o.ok)
+
+let render print v =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  print ppf v;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let first_divergence a b =
+  if String.equal a b then None
+  else
+    let rec loop i la lb =
+      match la, lb with
+      | [], [] -> Some "outputs differ only in trailing whitespace"
+      | x :: _, [] -> Some (Printf.sprintf "line %d: %S vs end of output" i x)
+      | [], y :: _ -> Some (Printf.sprintf "line %d: end of output vs %S" i y)
+      | x :: la, y :: lb ->
+          if String.equal x y then loop (i + 1) la lb
+          else Some (Printf.sprintf "line %d: %S vs %S" i x y)
+    in
+    loop 1 (String.split_on_char '\n' a) (String.split_on_char '\n' b)
+
+(* Half a simulated day of the test-scale dynamics: enough churn for
+   non-trivial F3L/F3R tables, small enough that the whole pair matrix
+   runs in seconds on a Small scenario. *)
+let default_dynamics =
+  { Dynamics.short_config with Dynamics.duration = 12. *. 3600. }
+
+let run ?(dynamics = default_dynamics) ?(seeds = [ 1; 2 ]) size =
+  List.concat_map
+    (fun seed ->
+       let scenario = Scenario.build ~seed size in
+       let check ~pair ~experiment a b =
+         { seed; pair; experiment;
+           ok = String.equal a b;
+           detail = first_divergence a b }
+       in
+       let f3l ?(jobs = 1) m =
+         Pool.with_pool ~jobs (fun exec ->
+             render Path_changes.print (Path_changes.compute ~exec m))
+       in
+       let f3r ?(jobs = 1) m =
+         Pool.with_pool ~jobs (fun exec ->
+             render As_exposure.print (As_exposure.compute ~exec m))
+       in
+       (* Pair 1: the route cache is a pure memoization layer. *)
+       let cached =
+         Measurement.run
+           ~dynamics:{ dynamics with Dynamics.route_cache_size = 512 } scenario
+       in
+       let uncached =
+         Measurement.run
+           ~dynamics:{ dynamics with Dynamics.route_cache_size = 0 } scenario
+       in
+       (* Pair 2: worker count must not leak into results. *)
+       let m1 jobs =
+         Pool.with_pool ~jobs (fun exec ->
+             render Compromise.print
+               (Compromise.compute ~rng:(Rng.of_int seed) ~exec ~trials:500
+                  ~universe:800 ()))
+       in
+       (* Pair 3: chunking of the work queue is invisible too; exercise a
+          real per-cell kernel rather than a toy function. *)
+       let extra_counts chunk =
+         Pool.with_pool ~jobs:2 (fun exec ->
+             let cells = Array.of_list cached.Measurement.cells in
+             Pool.map ~chunk exec
+               (fun c -> Asn.Set.cardinal (Measurement.extra_ases c))
+               cells
+             |> Array.to_list |> List.map string_of_int |> String.concat ",")
+       in
+       (* Pair 4: on a stream with no session resets the reset filter has
+          nothing to remove, so enabling it must not change any cell. *)
+       let quiet = { dynamics with Dynamics.resets_per_session = 0. } in
+       let filtered = Measurement.run ~dynamics:quiet scenario in
+       let unfiltered = Measurement.run ~dynamics:quiet ~no_filter:true scenario in
+       [ check ~pair:"route-cache-on-vs-off" ~experiment:"F3L"
+           (f3l cached) (f3l uncached);
+         check ~pair:"route-cache-on-vs-off" ~experiment:"F3R"
+           (f3r cached) (f3r uncached);
+         check ~pair:"jobs-1-vs-2" ~experiment:"F3L"
+           (f3l ~jobs:1 cached) (f3l ~jobs:2 cached);
+         check ~pair:"jobs-1-vs-2" ~experiment:"F3R"
+           (f3r ~jobs:1 cached) (f3r ~jobs:2 cached);
+         check ~pair:"jobs-1-vs-2" ~experiment:"M1" (m1 1) (m1 2);
+         check ~pair:"chunk-1-vs-64" ~experiment:"F3R-kernel"
+           (extra_counts 1) (extra_counts 64);
+         check ~pair:"filter-on-reset-free" ~experiment:"F3L"
+           (f3l filtered) (f3l unfiltered);
+         check ~pair:"filter-on-reset-free" ~experiment:"F3R"
+           (f3r filtered) (f3r unfiltered) ])
+    seeds

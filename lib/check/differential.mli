@@ -1,0 +1,37 @@
+(** Differential oracles: configuration pairs that must not change
+    results.
+
+    The route cache (PR 2) and the domain pool (PR 3) are pure
+    memoization/execution layers, and the session-reset filter is inert
+    on a stream without resets. Each oracle runs a seeded scenario under
+    both halves of such a pair, renders the experiment output (F3L, F3R,
+    M1, or a raw per-cell kernel) and diffs the two renderings
+    byte-for-byte, reporting the first divergent line.
+
+    | pair                   | halves                             | outputs        |
+    |------------------------|------------------------------------|----------------|
+    | route-cache-on-vs-off  | [route_cache_size] 512 vs 0        | F3L, F3R       |
+    | jobs-1-vs-2            | pool [jobs] 1 vs 2                 | F3L, F3R, M1   |
+    | chunk-1-vs-64          | [Pool.map ~chunk] 1 vs 64          | per-cell F3R   |
+    | filter-on-reset-free   | filter on vs off, 0 resets/session | F3L, F3R       | *)
+
+type outcome = {
+  seed : int;
+  pair : string;        (** e.g. ["route-cache-on-vs-off"] *)
+  experiment : string;  (** e.g. ["F3R"] *)
+  ok : bool;
+  detail : string option;  (** first divergent line, when [not ok] *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val all_ok : outcome list -> bool
+
+val default_dynamics : Dynamics.config
+(** [Dynamics.short_config] shortened to 12 simulated hours. *)
+
+val run :
+  ?dynamics:Dynamics.config -> ?seeds:int list -> Scenario.size ->
+  outcome list
+(** Run every pair on every seed (default seeds [1; 2]) and return one
+    outcome per (seed, pair, experiment). Deterministic. *)

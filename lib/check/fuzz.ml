@@ -1,0 +1,338 @@
+type violation = { case : string; seed : int; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] seed %d: %s" v.case v.seed v.detail
+
+type stats = {
+  seeds : int;
+  cases : int;
+  rejected : int;
+  violations : violation list;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d seeds, %d cases, %d mutants cleanly rejected, %d violations" s.seeds
+    s.cases s.rejected (List.length s.violations)
+
+let ok s = s.violations = []
+
+(* ---- MRT codec ---------------------------------------------------- *)
+
+let gen_ip rng = Ipv4.of_int_trunc (Rng.int rng 0x3FFFFFFF)
+let gen_asn rng = Asn.of_int (1 + Rng.int rng 4_000_000)
+
+let gen_prefix rng =
+  Prefix.make (gen_ip rng) (8 + Rng.int rng 17)
+
+let gen_path rng = List.init (1 + Rng.int rng 5) (fun _ -> gen_asn rng)
+
+let gen_communities rng =
+  List.init (Rng.int rng 3) (fun _ -> (Rng.int rng 0x10000, Rng.int rng 0x10000))
+
+let gen_message rng =
+  if Rng.int rng 8 = 0 then Mrt.Keepalive
+  else
+    Mrt.Update
+      { withdrawn = List.init (Rng.int rng 3) (fun _ -> gen_prefix rng);
+        as_path = (if Rng.int rng 6 = 0 then [] else gen_path rng);
+        next_hop = (if Rng.bool rng then Some (gen_ip rng) else None);
+        communities = gen_communities rng;
+        nlri = List.init (Rng.int rng 3) (fun _ -> gen_prefix rng) }
+
+let gen_record rng =
+  { Mrt.timestamp =
+      float_of_int (Rng.int rng 1_000_000)
+      +. (float_of_int (Rng.int rng 1_000_000) /. 1e6);
+    peer_as = gen_asn rng;
+    local_as = gen_asn rng;
+    peer_ip = gen_ip rng;
+    local_ip = gen_ip rng;
+    message = gen_message rng }
+
+let gen_rib rng =
+  let n_peers = 1 + Rng.int rng 4 in
+  { Mrt.rib_time = float_of_int (Rng.int rng 1_000_000);
+    collector_id = gen_ip rng;
+    view_name = (if Rng.bool rng then "" else "fuzz-view");
+    peers = Array.init n_peers (fun _ -> (gen_ip rng, gen_asn rng));
+    rib_entries =
+      List.init (1 + Rng.int rng 4) (fun _ ->
+          let p = gen_prefix rng in
+          ( p,
+            List.init (1 + Rng.int rng 3) (fun _ ->
+                ( Rng.int rng n_peers,
+                  Route.make ~communities:(gen_communities rng) p
+                    (gen_path rng) )) )) }
+
+let message_equal (a : Mrt.message) (b : Mrt.message) =
+  match a, b with
+  | Mrt.Keepalive, Mrt.Keepalive -> true
+  | Mrt.Update a, Mrt.Update b ->
+      List.equal Prefix.equal a.withdrawn b.withdrawn
+      && List.equal Asn.equal a.as_path b.as_path
+      && Option.equal Ipv4.equal a.next_hop b.next_hop
+      && List.equal
+           (fun (c1, v1) (c2, v2) -> c1 = c2 && v1 = v2)
+           a.communities b.communities
+      && List.equal Prefix.equal a.nlri b.nlri
+  | _, _ -> false
+
+let record_equal (a : Mrt.record) (b : Mrt.record) =
+  Float.abs (a.Mrt.timestamp -. b.Mrt.timestamp) < 1e-5
+  && Asn.equal a.Mrt.peer_as b.Mrt.peer_as
+  && Asn.equal a.Mrt.local_as b.Mrt.local_as
+  && Ipv4.equal a.Mrt.peer_ip b.Mrt.peer_ip
+  && Ipv4.equal a.Mrt.local_ip b.Mrt.local_ip
+  && message_equal a.Mrt.message b.Mrt.message
+
+let route_equal (a : Route.t) (b : Route.t) =
+  Prefix.equal a.Route.prefix b.Route.prefix
+  && List.equal Asn.equal a.Route.as_path b.Route.as_path
+  && List.equal
+       (fun (c1, v1) (c2, v2) -> c1 = c2 && v1 = v2)
+       a.Route.communities b.Route.communities
+
+let rib_equal (a : Mrt.rib) (b : Mrt.rib) =
+  Float.abs (a.Mrt.rib_time -. b.Mrt.rib_time) < 1e-5
+  && Ipv4.equal a.Mrt.collector_id b.Mrt.collector_id
+  && String.equal a.Mrt.view_name b.Mrt.view_name
+  && Array.length a.Mrt.peers = Array.length b.Mrt.peers
+  && Array.for_all2
+       (fun (ip1, as1) (ip2, as2) -> Ipv4.equal ip1 ip2 && Asn.equal as1 as2)
+       a.Mrt.peers b.Mrt.peers
+  && List.equal
+       (fun (p1, es1) (p2, es2) ->
+          Prefix.equal p1 p2
+          && List.equal
+               (fun (i1, r1) (i2, r2) -> i1 = i2 && route_equal r1 r2)
+               es1 es2)
+       a.Mrt.rib_entries b.Mrt.rib_entries
+
+let bit_flip rng data =
+  let b = Bytes.of_string data in
+  if Bytes.length b > 0 then begin
+    let pos = Rng.int rng (Bytes.length b) in
+    let bit = Rng.int rng 8 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)))
+  end;
+  Bytes.to_string b
+
+let truncate rng data =
+  if String.length data = 0 then data
+  else String.sub data 0 (Rng.int rng (String.length data))
+
+(* Runs [decode] on [data]; a clean [Ok]/[Error] is fine, anything the
+   result-returning decoder still throws is a decoder bug. *)
+let expect_total ~case ~seed decode data (cases, rejected, violations) =
+  incr cases;
+  match decode data with
+  | Ok _ -> ()
+  | Error _ -> incr rejected
+  | exception e ->
+      violations :=
+        { case; seed; detail = "decoder raised " ^ Printexc.to_string e }
+        :: !violations
+
+let mrt ?(seeds = 200) () =
+  let cases = ref 0 and rejected = ref 0 and violations = ref [] in
+  let state = (cases, rejected, violations) in
+  for seed = 1 to seeds do
+    let rng = Rng.of_int seed in
+    (* encode∘decode identity on valid BGP4MP records ... *)
+    let records = List.init (1 + Rng.int rng 4) (fun _ -> gen_record rng) in
+    let encoded = Mrt.encode records in
+    incr cases;
+    (match Mrt.decode_result encoded with
+     | Ok back ->
+         if not (List.equal record_equal records back) then
+           violations :=
+             { case = "mrt-roundtrip"; seed;
+               detail = "decode (encode records) <> records" }
+             :: !violations
+     | Error e ->
+         violations :=
+           { case = "mrt-roundtrip"; seed; detail = "valid input rejected: " ^ e }
+           :: !violations
+     | exception e ->
+         violations :=
+           { case = "mrt-decoder-raised"; seed;
+             detail = "on valid input: " ^ Printexc.to_string e }
+           :: !violations);
+    (* ... and on valid TABLE_DUMP_V2 snapshots. *)
+    let rib = gen_rib rng in
+    let encoded_rib = Mrt.encode_rib rib in
+    incr cases;
+    (match Mrt.decode_rib_result encoded_rib with
+     | Ok back ->
+         if not (rib_equal rib back) then
+           violations :=
+             { case = "rib-roundtrip"; seed;
+               detail = "decode_rib (encode_rib rib) <> rib" }
+             :: !violations
+     | Error e ->
+         violations :=
+           { case = "rib-roundtrip"; seed; detail = "valid input rejected: " ^ e }
+           :: !violations
+     | exception e ->
+         violations :=
+           { case = "mrt-decoder-raised"; seed;
+             detail = "on valid RIB: " ^ Printexc.to_string e }
+           :: !violations);
+    (* Mutations: decode must return an error, never raise. *)
+    for _ = 1 to 24 do
+      expect_total ~case:"mrt-decoder-raised" ~seed Mrt.decode_result
+        (bit_flip rng encoded) state;
+      expect_total ~case:"mrt-decoder-raised" ~seed Mrt.decode_rib_result
+        (bit_flip rng encoded_rib) state
+    done;
+    for _ = 1 to 8 do
+      expect_total ~case:"mrt-decoder-raised" ~seed Mrt.decode_result
+        (truncate rng encoded) state;
+      expect_total ~case:"mrt-decoder-raised" ~seed Mrt.decode_rib_result
+        (truncate rng encoded_rib) state
+    done;
+    (* Cross-feeding the two framings must fail cleanly too. *)
+    expect_total ~case:"mrt-decoder-raised" ~seed Mrt.decode_result encoded_rib
+      state;
+    expect_total ~case:"mrt-decoder-raised" ~seed Mrt.decode_rib_result encoded
+      state
+  done;
+  { seeds; cases = !cases; rejected = !rejected;
+    violations = List.rev !violations }
+
+(* ---- Session_reset ------------------------------------------------ *)
+
+(* Synthesize a stream of organic churn with injected table-transfer
+   bursts: the filter must drop the bursts (detect each injected
+   interval) and pass the organic updates that are clear of them, while
+   keeping pushed = passed + dropped at flush. *)
+
+let sr_duration = 4. *. 3600.
+let sr_transfer_span = 45.
+
+let gen_session k = { Update.collector = "rrc00"; peer = Asn.of_int (64500 + k) }
+
+let session_reset ?(seeds = 200) () =
+  let cases = ref 0 and rejected = ref 0 and violations = ref [] in
+  let add case seed detail = violations := { case; seed; detail } :: !violations in
+  for seed = 1 to seeds do
+    let rng = Rng.of_int (0x5e55e7 + seed) in
+    let session = gen_session (Rng.int rng 4) in
+    let table_n = 150 + Rng.int rng 150 in
+    let prefixes =
+      Array.init table_n (fun i ->
+          Prefix.make (Ipv4.of_int_trunc (0x0A000000 + (i * 256))) 24)
+    in
+    let route i = Route.make prefixes.(i) [ gen_asn rng; gen_asn rng ] in
+    let announce time i =
+      { Update.time; session; kind = Update.Announce (route i) }
+    in
+    (* Organic churn: sparse single-prefix updates. *)
+    let n_organic = 40 + Rng.int rng 40 in
+    let organic =
+      List.init n_organic (fun _ ->
+          announce (Rng.float rng sr_duration) (Rng.int rng table_n))
+      |> List.sort (fun (a : Update.t) b -> Float.compare a.Update.time b.Update.time)
+    in
+    (* Injected table transfers: the whole table replayed in seconds. *)
+    let n_bursts = 1 + Rng.int rng 2 in
+    let burst_starts =
+      List.init n_bursts (fun _ ->
+          300. +. Rng.float rng (sr_duration -. 600.))
+      |> List.sort Float.compare
+    in
+    let bursts =
+      List.map
+        (fun start ->
+           ( start,
+             List.init table_n (fun i ->
+                 announce
+                   (start +. (float_of_int i *. sr_transfer_span
+                              /. float_of_int table_n))
+                   i) ))
+        burst_starts
+    in
+    let stream =
+      List.stable_sort
+        (fun (a : Update.t) b -> Float.compare a.Update.time b.Update.time)
+        (organic @ List.concat_map snd bursts)
+    in
+    let emitted = Hashtbl.create 1024 in
+    let filter =
+      Session_reset.create
+        ~emit:(fun u -> Hashtbl.replace emitted u ())
+        ()
+    in
+    Session_reset.preload_table filter session table_n;
+    List.iter (Session_reset.push filter) stream;
+    Session_reset.flush filter;
+    let st = Session_reset.stats filter in
+    incr cases;
+    if
+      st.Session_reset.pushed
+      <> st.Session_reset.passed + st.Session_reset.dropped
+         + st.Session_reset.buffered
+      || st.Session_reset.buffered <> 0
+    then
+      add "reset-accounting" seed
+        (Printf.sprintf "pushed %d, passed %d, dropped %d, buffered %d"
+           st.Session_reset.pushed st.Session_reset.passed
+           st.Session_reset.dropped st.Session_reset.buffered);
+    (* A transfer's drop window outlasts the replay: while consecutive
+       updates arrive within the quiet gap the filter keeps dropping, so
+       extend each burst's shadow along that chain through the stream. *)
+    let quiet_gap = Session_reset.default_config.Session_reset.quiet_gap in
+    let window = Session_reset.default_config.Session_reset.window in
+    let shadows =
+      List.map
+        (fun (start, updates) ->
+           let finish =
+             (List.nth updates (List.length updates - 1)).Update.time
+           in
+           let chain_end =
+             List.fold_left
+               (fun last (u : Update.t) ->
+                  if u.Update.time > last
+                     && u.Update.time -. last <= quiet_gap
+                  then u.Update.time
+                  else last)
+               finish stream
+           in
+           (start, finish, start -. window -. 1., chain_end))
+        bursts
+    in
+    (* Every injected transfer must be detected as a burst... *)
+    List.iter
+      (fun (start, finish, _, _) ->
+         incr cases;
+         let found =
+           List.exists
+             (fun (_, b_start, b_end) ->
+                b_start <= finish +. 120. && b_end >= start -. 120.)
+             st.Session_reset.bursts
+         in
+         if not found then
+           add "reset-burst-missed" seed
+             (Printf.sprintf "transfer at t=%.0f..%.0f not detected" start
+                finish))
+      shadows;
+    (* ... and organic churn clear of any transfer's shadow must pass. *)
+    let shadowed time =
+      List.exists
+        (fun (_, _, lo, hi) -> time >= lo && time <= hi)
+        shadows
+    in
+    List.iter
+      (fun (u : Update.t) ->
+         if not (shadowed u.Update.time) then begin
+           incr cases;
+           if not (Hashtbl.mem emitted u) then
+             add "reset-organic-dropped" seed
+               (Format.asprintf "organic update at t=%g was dropped"
+                  u.Update.time)
+         end)
+      organic
+  done;
+  { seeds; cases = !cases; rejected = !rejected;
+    violations = List.rev !violations }

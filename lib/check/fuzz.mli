@@ -1,0 +1,38 @@
+(** Seeded mutation fuzzers for the pipeline's parsing and filtering
+    edges. Fully deterministic: the same seed count always replays the
+    same cases.
+
+    {b MRT codec}: generates valid BGP4MP_ET and TABLE_DUMP_V2 messages,
+    checks encode∘decode identity, then bit-flips and truncates the
+    encodings — the result-returning decoders must come back with
+    [Ok]/[Error] and never let an exception escape.
+
+    {b Session_reset}: synthesizes streams of organic churn with injected
+    synthetic table-transfer bursts — every injected transfer must be
+    detected and dropped, organic updates clear of any transfer's shadow
+    must pass, and [pushed = passed + dropped] must hold at flush. *)
+
+type violation = { case : string; seed : int; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type stats = {
+  seeds : int;
+  cases : int;      (** individual checks executed *)
+  rejected : int;   (** malformed inputs cleanly rejected with [Error]
+                        (MRT suite; 0 for the session-reset suite) *)
+  violations : violation list;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val ok : stats -> bool
+(** No violations. *)
+
+val mrt : ?seeds:int -> unit -> stats
+(** Codec round-trip + mutation fuzz (default 200 seeds; ~66 decode
+    cases per seed). *)
+
+val session_reset : ?seeds:int -> unit -> stats
+(** Table-transfer injection fuzz against the reset filter (default 200
+    seeds). *)

@@ -1,0 +1,18 @@
+(** Text and JSON renderers for the three [quicksand check] suites.
+
+    The JSON shapes are one object per suite:
+    [{"suite":"conform","observed":N,"ok":B,"violations":[...]}],
+    [{"suite":"diff","ok":B,"pairs":[...]}] and
+    [{"suite":"fuzz","ok":B,"targets":[...]}]. *)
+
+val conformance :
+  json:bool -> Format.formatter -> observed:int ->
+  Conformance.violation list -> unit
+
+val differential :
+  json:bool -> Format.formatter -> Differential.outcome list -> unit
+
+val fuzz :
+  json:bool -> Format.formatter -> (string * Fuzz.stats) list -> unit
+(** Takes [(target name, stats)] pairs, e.g. [("mrt", ...);
+    ("session-reset", ...)]. *)

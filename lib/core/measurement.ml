@@ -3,10 +3,13 @@ type key = { session : Update.session_id; prefix : Prefix.t }
 type acc = {
   mutable a_baseline : Asn.Set.t option;
   mutable a_updates : int;
+  mutable a_announces : int;
   mutable a_changes : int;
   mutable a_current : Asn.Set.t option;
   mutable a_since : float;
   a_residency : (Asn.t, float) Hashtbl.t;
+  a_entered : (Asn.t, float) Hashtbl.t;  (* AS -> start of current on-path run *)
+  a_contig : (Asn.t, float) Hashtbl.t;   (* AS -> longest completed run *)
 }
 
 type cell = {
@@ -15,6 +18,7 @@ type cell = {
   updates : int;
   path_changes : int;
   residency : (Asn.t * float) list;
+  contiguous : (Asn.t * float) list;
   final_set : Asn.Set.t option;
 }
 
@@ -52,6 +56,27 @@ let credit_residency acc until =
              Hashtbl.replace acc.a_residency a (cur +. dt))
           set
 
+let close_run acc a until =
+  match Hashtbl.find_opt acc.a_entered a with
+  | None -> ()
+  | Some start ->
+      Hashtbl.remove acc.a_entered a;
+      let run = until -. start in
+      let best = Option.value ~default:0. (Hashtbl.find_opt acc.a_contig a) in
+      if run > best then Hashtbl.replace acc.a_contig a run
+
+(* Maintain per-AS contiguous on-path runs: an AS's run survives path
+   changes as long as the AS stays somewhere on the path; it closes the
+   moment the AS leaves (or the route is withdrawn). *)
+let track_membership acc time next =
+  let old = Option.value ~default:Asn.Set.empty acc.a_current in
+  let next = Option.value ~default:Asn.Set.empty next in
+  Asn.Set.iter (fun a -> if not (Asn.Set.mem a next) then close_run acc a time) old;
+  Asn.Set.iter
+    (fun a ->
+       if not (Hashtbl.mem acc.a_entered a) then Hashtbl.replace acc.a_entered a time)
+    next
+
 let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
     ?(extra_updates = []) ?observe scenario =
   let rng = Scenario.rng_for scenario "measurement" in
@@ -61,9 +86,11 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
     | Some a -> a
     | None ->
         let a =
-          { a_baseline = None; a_updates = 0; a_changes = 0;
+          { a_baseline = None; a_updates = 0; a_announces = 0; a_changes = 0;
             a_current = None; a_since = 0.;
-            a_residency = Hashtbl.create 8 }
+            a_residency = Hashtbl.create 8;
+            a_entered = Hashtbl.create 8;
+            a_contig = Hashtbl.create 8 }
         in
         Key_table.replace table key a;
         a
@@ -75,16 +102,21 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
     match u.Update.kind with
     | Update.Announce route ->
         acc.a_updates <- acc.a_updates + 1;
+        acc.a_announces <- acc.a_announces + 1;
         let set = Route.as_set route in
         (match acc.a_current with
          | Some old when Asn.Set.equal old set -> ()
          | Some _ -> acc.a_changes <- acc.a_changes + 1
          | None -> ());
         credit_residency acc u.Update.time;
+        track_membership acc u.Update.time (Some set);
         acc.a_current <- Some set;
         acc.a_since <- u.Update.time
     | Update.Withdraw _ ->
+        (* A withdrawal is BGP churn like any other update; it must count. *)
+        acc.a_updates <- acc.a_updates + 1;
         credit_residency acc u.Update.time;
+        track_membership acc u.Update.time None;
         acc.a_current <- None;
         acc.a_since <- u.Update.time
   in
@@ -128,6 +160,7 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
               let acc = get_acc { session; prefix } in
               let set = Route.as_set route in
               acc.a_baseline <- Some set;
+              track_membership acc 0. (Some set);
               acc.a_current <- Some set;
               acc.a_since <- 0.)
            table0)
@@ -145,18 +178,27 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
   let cells =
     Key_table.fold
       (fun key acc out ->
-         credit_residency acc duration;
-         if acc.a_baseline <> None || acc.a_updates > 0 then begin
+         (* A key that only ever saw withdrawals carries no routing state:
+            no baseline, no route, nothing a collector could measure.
+            Materializing it would skew per-cell counts, so drop it. *)
+         if acc.a_baseline = None && acc.a_announces = 0 then out
+         else begin
+           credit_residency acc duration;
+           let open_runs =
+             Hashtbl.fold (fun a _ l -> a :: l) acc.a_entered []
+           in
+           List.iter (fun a -> close_run acc a duration) open_runs;
            let cur = Option.value ~default:0 (Prefix.Table.find_opt visibility key.prefix) in
-           Prefix.Table.replace visibility key.prefix (cur + 1)
-         end;
-         { key;
-           baseline = acc.a_baseline;
-           updates = acc.a_updates;
-           path_changes = acc.a_changes;
-           residency = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_residency [];
-           final_set = acc.a_current }
-         :: out)
+           Prefix.Table.replace visibility key.prefix (cur + 1);
+           { key;
+             baseline = acc.a_baseline;
+             updates = acc.a_updates;
+             path_changes = acc.a_changes;
+             residency = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_residency [];
+             contiguous = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_contig [];
+             final_set = acc.a_current }
+           :: out
+         end)
       table []
   in
   { scenario; duration; initial; cells; dyn_stats;
@@ -186,6 +228,10 @@ let is_tor t p = Tor_prefix.is_tor_prefix t.scenario.Scenario.tor_prefixes p
 
 let changes_of c = c.path_changes
 
+(* The paper's rule is "seen on the path for more than five minutes" — a
+   sustained presence, so the threshold applies to the longest contiguous
+   run, not the cumulative residency (ten disjoint 40 s appearances must
+   not qualify). *)
 let extra_ases ?(threshold = 300.) cell =
   match cell.baseline with
   | None -> Asn.Set.empty
@@ -194,7 +240,7 @@ let extra_ases ?(threshold = 300.) cell =
         (fun acc (a, d) ->
            if d >= threshold && not (Asn.Set.mem a base) then Asn.Set.add a acc
            else acc)
-        Asn.Set.empty cell.residency
+        Asn.Set.empty cell.contiguous
 
 let visibility_fraction t p =
   if t.n_sessions = 0 then 0.

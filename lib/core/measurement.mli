@@ -18,12 +18,19 @@ type key = { session : Update.session_id; prefix : Prefix.t }
 type cell = {
   key : key;
   baseline : Asn.Set.t option;   (** AS set of the initial route *)
-  updates : int;                 (** announcements seen (post-filter) *)
+  updates : int;                 (** updates seen post-filter — announcements
+                                     {e and} withdrawals *)
   path_changes : int;
   residency : (Asn.t * float) list;
       (** total seconds each AS spent on this (session, prefix) path *)
+  contiguous : (Asn.t * float) list;
+      (** per AS, the longest single contiguous interval it spent on the
+          path (always <= its cumulative residency) *)
   final_set : Asn.Set.t option;
 }
+(** Cells exist only for keys that carried routing state: a baseline route
+    at time 0 or at least one announcement. A key that only ever saw
+    withdrawals is not materialized. *)
 
 type t = {
   scenario : Scenario.t;
@@ -62,9 +69,11 @@ val is_tor : t -> Prefix.t -> bool
 
 val changes_of : cell -> int
 val extra_ases : ?threshold:float -> cell -> Asn.Set.t
-(** ASes with residency >= threshold (default 300 s) that are not in the
-    baseline AS set. Empty if the cell has no baseline (prefix never seen
-    at time 0 on this session). *)
+(** ASes whose longest {e contiguous} on-path interval reaches the
+    threshold (default 300 s) and that are not in the baseline AS set —
+    the paper's "seen for more than five minutes" rule demands a sustained
+    appearance, so disjoint short stints do not accumulate. Empty if the
+    cell has no baseline (prefix never seen at time 0 on this session). *)
 
 val visibility_fraction : t -> Prefix.t -> float
 (** Fraction of sessions on which the prefix was ever visible. *)

@@ -196,6 +196,21 @@ let test_full_determinism () =
   in
   check_bool "two runs identical" true (run () = run ())
 
+(* 8. The measurement pipeline passes the streaming conformance checker:
+   every post-filter update respects the horizon and per-session time
+   order, withdraws follow announces (or a baseline route), and the
+   finished measurement satisfies the accounting invariants. *)
+let test_pipeline_conformance () =
+  let m, violations =
+    Conformance.run ~dynamics:tiny_dynamics (Lazy.force scenario)
+  in
+  List.iter
+    (fun v -> Format.eprintf "%a@." Conformance.pp_violation v)
+    violations;
+  check_int "no conformance violations" 0 (List.length violations);
+  check_bool "stream was actually observed" true
+    (m.Measurement.dyn_stats.Dynamics.updates_emitted > 0)
+
 let () =
   Alcotest.run "integration"
     [ ("pipelines",
@@ -211,4 +226,6 @@ let () =
            test_interception_return_path_works;
          Alcotest.test_case "serialization round trips" `Quick
            test_serialization_pipeline;
-         Alcotest.test_case "full determinism" `Quick test_full_determinism ]) ]
+         Alcotest.test_case "full determinism" `Quick test_full_determinism;
+         Alcotest.test_case "pipeline conformance" `Quick
+           test_pipeline_conformance ]) ]

@@ -18,12 +18,15 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
-for ml in lib/*/*.ml; do
+# find, not a glob: covers every library at any depth (lib/check/ arrived
+# after the original lib/*/*.ml pattern and new nesting should never dodge
+# the gate silently).
+while IFS= read -r ml; do
   if [ ! -f "${ml}i" ]; then
     echo "check_mli: $ml has no matching .mli" >&2
     fail=1
   fi
-done
+done < <(find lib -name '*.ml' -not -path '*/_build/*' | sort)
 
 if grep -rn --include='*.ml' --include='*.mli' \
      -e 'Obj\.magic' -e 'Stdlib\.compare' -e 'assert false' \
