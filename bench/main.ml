@@ -23,16 +23,16 @@ let spec =
 
 let want id = !only = [] || List.mem id !only
 
-let t0 = Unix.gettimeofday ()
+let t0 = Clock.now ()
 
 let section id title f =
   if want id then begin
     Format.printf "@.=== %s: %s ===@." id title;
-    let start = Unix.gettimeofday () in
+    let start = Clock.now () in
     f ();
     Format.printf "--- (%s took %.1f s; %.0f s elapsed)@." id
-      (Unix.gettimeofday () -. start)
-      (Unix.gettimeofday () -. t0)
+      (Clock.now () -. start)
+      (Clock.now () -. t0)
   end
 
 let fmt = Format.std_formatter
@@ -287,13 +287,13 @@ let () =
           computation, not pretty-printing. *)
        let timed cache_size =
          let rng = Scenario.rng_for scenario "ab-cache" in
-         let start = Unix.gettimeofday () in
+         let start = Clock.now () in
          let _, stats =
            Dynamics.run ~rng
              { cfg with Dynamics.route_cache_size = cache_size }
              scenario.Scenario.world ~emit:ignore
          in
-         (Unix.gettimeofday () -. start, stats)
+         (Clock.now () -. start, stats)
        in
        (* Separate (untimed) runs capture the full rendered streams for
           the byte-identity check. *)
@@ -334,9 +334,9 @@ let () =
        let run jobs =
          Pool.with_pool ~jobs (fun exec ->
              let rng = Scenario.rng_for scenario "ab-jobs" in
-             let start = Unix.gettimeofday () in
+             let start = Clock.now () in
              let m1 = Compromise.compute ~rng ~exec ~trials () in
-             let dt = Unix.gettimeofday () -. start in
+             let dt = Clock.now () -. start in
              let buf = Buffer.create 4096 in
              let ppf = Format.formatter_of_buffer buf in
              Compromise.print ppf m1;
@@ -352,6 +352,43 @@ let () =
          (t1 /. Float.max tn 1e-9)
          (Domain.recommended_domain_count ())
          (String.equal out1 outn));
+
+  section "AB-obs" "ablation — Qs_obs instrumentation on vs off (F3L dynamics kernel)"
+    (fun () ->
+       (* Every hot-path counter bump in Dynamics/Route_cache/
+          Session_reset/Pool goes through the registry; this proves the
+          cost is in the noise. Runs alternate on/off so drift hits both
+          arms equally, and each arm keeps its best-of — the stable
+          estimate of kernel time under timer jitter. *)
+       let cfg =
+         { Dynamics.short_config with
+           Dynamics.duration = 1. *. 86_400.;
+           base_churn_rate = 2.0;
+           mean_outage = 5.;
+           mean_global_outage = 5. }
+       in
+       let timed enabled =
+         Metrics.set_enabled enabled;
+         let rng = Scenario.rng_for scenario "ab-obs" in
+         let start = Clock.now () in
+         let _ = Dynamics.run ~rng cfg scenario.Scenario.world ~emit:ignore in
+         Metrics.set_enabled true;
+         Clock.now () -. start
+       in
+       ignore (timed true);                   (* warm-up *)
+       let rounds = 5 in
+       let offs = ref [] and ons = ref [] in
+       for _ = 1 to rounds do
+         offs := timed false :: !offs;
+         ons := timed true :: !ons
+       done;
+       let best l = List.fold_left Float.min infinity l in
+       let t_off = best !offs in
+       let t_on = best !ons in
+       let overhead = 100. *. ((t_on /. Float.max t_off 1e-9) -. 1.) in
+       Format.printf "  instrumentation off: %.3f s (best of %d)@." t_off rounds;
+       Format.printf "  instrumentation on:  %.3f s (best of %d)@." t_on rounds;
+       Format.printf "  overhead: %+.2f%% (acceptance: < 2%%)@." overhead);
 
   (* ---------------- Bechamel microbenchmarks ------------------------ *)
   if !micro && want "micro" then begin
@@ -538,4 +575,4 @@ let () =
     Pool.shutdown pool1;
     Pool.shutdown pool2
   end;
-  Format.printf "@.done in %.1f s@." (Unix.gettimeofday () -. t0)
+  Format.printf "@.done in %.1f s@." (Clock.now () -. t0)

@@ -34,6 +34,71 @@ let jobs =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* ---- observability reports ------------------------------------------- *)
+
+let metrics_file =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write a human-readable metrics report to $(docv) after the \
+                 command finishes ($(b,-) for stdout).")
+
+let metrics_json_file =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"Write the qs-obs/1 JSON metrics report to $(docv) ($(b,-) \
+                 for stdout). Counts are deterministic for a given seed; \
+                 timing lives in dedicated fields.")
+
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Enable span tracing and write the JSON trace to $(docv) \
+                 ($(b,-) for stdout).")
+
+let obs_opts =
+  let combine metrics metrics_json trace = (metrics, metrics_json, trace) in
+  Term.(const combine $ metrics_file $ metrics_json_file $ trace_file)
+
+let write_report path pp =
+  match path with
+  | "-" ->
+      pp Format.std_formatter;
+      Format.pp_print_flush Format.std_formatter ()
+  | path ->
+      Out_channel.with_open_text path (fun oc ->
+          let ppf = Format.formatter_of_out_channel oc in
+          pp ppf;
+          Format.pp_print_flush ppf ());
+      Format.eprintf "wrote %s@." path
+
+(* Wrap a command body so the requested observability reports are
+   written when it finishes — also on failure, so a crashed sweep still
+   leaves its metrics behind. Callers that set exit codes must do so
+   after this returns ([Stdlib.exit] would skip the reports). *)
+let with_obs (metrics, metrics_json, trace) f =
+  if trace <> None then Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      (match (metrics, metrics_json) with
+       | None, None -> ()
+       | _ ->
+           let samples = Metrics.snapshot () in
+           Option.iter
+             (fun p ->
+               write_report p (fun ppf -> Export.metrics_text ppf samples))
+             metrics;
+           Option.iter
+             (fun p ->
+               write_report p (fun ppf -> Export.metrics_json ppf samples))
+             metrics_json);
+      Option.iter
+        (fun p ->
+          let spans = Span.drain () in
+          write_report p (fun ppf -> Export.trace_json ppf spans);
+          Span.set_enabled false)
+        trace)
+    f
+
 (* Run [f] over a fresh pool sized by --jobs (default: the runtime's
    recommendation) and print the executor stats afterwards. *)
 let with_exec ?(show_stats = true) jobs f =
@@ -83,38 +148,41 @@ let concentration_cmd =
     Term.(const run $ seed $ scale)
 
 let path_changes_cmd =
-  let run seed scale days jobs =
-    let s = build_scenario seed scale in
-    let m = measure s days in
-    Format.printf "%a@." Measurement.pp_dynamics_summary m;
-    with_exec jobs (fun exec ->
-        Path_changes.print fmt (Path_changes.compute ~exec m))
+  let run seed scale days jobs obs =
+    with_obs obs (fun () ->
+        let s = build_scenario seed scale in
+        let m = measure s days in
+        Format.printf "%a@." Measurement.pp_dynamics_summary m;
+        with_exec jobs (fun exec ->
+            Path_changes.print fmt (Path_changes.compute ~exec m)))
   in
   Cmd.v (Cmd.info "path-changes" ~doc:"F3L: Tor-prefix path-change CCDF")
-    Term.(const run $ seed $ scale $ days $ jobs)
+    Term.(const run $ seed $ scale $ days $ jobs $ obs_opts)
 
 let extra_ases_cmd =
-  let run seed scale days threshold jobs =
-    let s = build_scenario seed scale in
-    let m = measure s days in
-    with_exec jobs (fun exec ->
-        As_exposure.print fmt (As_exposure.compute ~threshold ~exec m))
+  let run seed scale days threshold jobs obs =
+    with_obs obs (fun () ->
+        let s = build_scenario seed scale in
+        let m = measure s days in
+        with_exec jobs (fun exec ->
+            As_exposure.print fmt (As_exposure.compute ~threshold ~exec m)))
   in
   let threshold =
     Arg.(value & opt float 300. & info [ "threshold" ] ~docv:"SECONDS"
            ~doc:"Residency threshold for an AS to count as exposed.")
   in
   Cmd.v (Cmd.info "extra-ases" ~doc:"F3R: extra-ASes-over-time CCDF")
-    Term.(const run $ seed $ scale $ days $ threshold $ jobs)
+    Term.(const run $ seed $ scale $ days $ threshold $ jobs $ obs_opts)
 
 let compromise_cmd =
-  let run seed jobs =
-    let rng = Rng.of_int seed in
-    with_exec jobs (fun exec ->
-        Compromise.print fmt (Compromise.compute ~rng ~exec ()))
+  let run seed jobs obs =
+    with_obs obs (fun () ->
+        let rng = Rng.of_int seed in
+        with_exec jobs (fun exec ->
+            Compromise.print fmt (Compromise.compute ~rng ~exec ())))
   in
   Cmd.v (Cmd.info "compromise" ~doc:"M1: the 1-(1-f)^(l*x) model, checked by Monte-Carlo")
-    Term.(const run $ seed $ jobs)
+    Term.(const run $ seed $ jobs $ obs_opts)
 
 let asym_cmd =
   let run seed mb flows =
@@ -200,19 +268,20 @@ let asymmetry_cmd =
     Term.(const run $ seed $ scale $ pairs)
 
 let long_term_cmd =
-  let run seed scale horizon jobs =
-    let s = build_scenario seed scale in
-    let rng = Scenario.rng_for s "long-term" in
-    with_exec jobs (fun exec ->
-        Long_term.print fmt
-          (Long_term.compare_designs ~rng ~horizon_days:horizon ~exec s))
+  let run seed scale horizon jobs obs =
+    with_obs obs (fun () ->
+        let s = build_scenario seed scale in
+        let rng = Scenario.rng_for s "long-term" in
+        with_exec jobs (fun exec ->
+            Long_term.print fmt
+              (Long_term.compare_designs ~rng ~horizon_days:horizon ~exec s)))
   in
   let horizon =
     Arg.(value & opt int 120 & info [ "horizon" ] ~docv:"DAYS"
            ~doc:"Days of daily communication to simulate.")
   in
   Cmd.v (Cmd.info "long-term" ~doc:"M2: guard designs vs long-term AS-level compromise")
-    Term.(const run $ seed $ scale $ horizon $ jobs)
+    Term.(const run $ seed $ scale $ horizon $ jobs $ obs_opts)
 
 let topology_cmd =
   let run seed scale out =
@@ -299,7 +368,7 @@ let mrt_cmd =
 
 let lint_cmd =
   let run seed scale json rules fail_on max_prefixes no_determinism list_rules
-      jobs =
+      jobs obs =
     if list_rules then
       List.iter
         (fun (r : Diag.rule) ->
@@ -322,22 +391,29 @@ let lint_cmd =
                   Stdlib.exit 2
                 end)
              sels);
-      let s = Scenario.build ~seed scale in
-      if not json then
-        Format.printf "linting scenario: %d ASes, %d prefixes, %d relays (seed %d)@."
-          (As_graph.num_ases s.Scenario.graph)
-          (Addressing.count s.Scenario.addressing)
-          (Consensus.n_relays s.Scenario.consensus) seed;
-      let diags =
-        (* Stats would corrupt --json output, so only text mode prints
-           them; the exit below must also happen after the pool is torn
-           down, hence outside [with_exec]. *)
-        with_exec ~show_stats:(not json) jobs (fun exec ->
-            Lint.run ?rules ~max_prefixes ~determinism:(not no_determinism)
-              ~exec s)
+      (* The exit code is decided inside [with_obs] but acted on after
+         it returns: [Stdlib.exit] would skip the report writers. *)
+      let code =
+        with_obs obs (fun () ->
+            let s = Scenario.build ~seed scale in
+            if not json then
+              Format.printf
+                "linting scenario: %d ASes, %d prefixes, %d relays (seed %d)@."
+                (As_graph.num_ases s.Scenario.graph)
+                (Addressing.count s.Scenario.addressing)
+                (Consensus.n_relays s.Scenario.consensus) seed;
+            let diags =
+              (* Stats would corrupt --json output, so only text mode prints
+                 them; the exit below must also happen after the pool is torn
+                 down, hence outside [with_exec]. *)
+              with_exec ~show_stats:(not json) jobs (fun exec ->
+                  Lint.run ?rules ~max_prefixes
+                    ~determinism:(not no_determinism) ~exec s)
+            in
+            if json then Diag.report_json fmt diags
+            else Diag.report_text fmt diags;
+            Diag.exit_code ~fail_on diags)
       in
-      if json then Diag.report_json fmt diags else Diag.report_text fmt diags;
-      let code = Diag.exit_code ~fail_on diags in
       if code <> 0 then Stdlib.exit code
     end
   in
@@ -375,10 +451,10 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"Statically verify routing-world invariants of a seeded scenario")
     Term.(const run $ seed $ scale $ json $ rules $ fail_on $ max_prefixes
-          $ no_determinism $ list_rules $ jobs)
+          $ no_determinism $ list_rules $ jobs $ obs_opts)
 
 let check_cmd =
-  let run seed scale suite seeds days json =
+  let run seed scale suite seeds days json obs =
     let failed = ref false in
     let run_conform () =
       let dynamics =
@@ -415,11 +491,12 @@ let check_cmd =
       Report.fuzz ~json fmt [ ("mrt", mrt); ("session-reset", sr) ];
       if not (Fuzz.ok mrt && Fuzz.ok sr) then failed := true
     in
-    (match suite with
-     | `Conform -> run_conform ()
-     | `Diff -> run_diff ()
-     | `Fuzz -> run_fuzz ()
-     | `All -> run_conform (); run_diff (); run_fuzz ());
+    with_obs obs (fun () ->
+        match suite with
+        | `Conform -> run_conform ()
+        | `Diff -> run_diff ()
+        | `Fuzz -> run_fuzz ()
+        | `All -> run_conform (); run_diff (); run_fuzz ());
     if !failed then Stdlib.exit 1
   in
   let suite =
@@ -443,7 +520,8 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the qs_check conformance/differential/fuzz harness")
-    Term.(const run $ seed $ scale $ suite $ seeds $ days $ json_flag)
+    Term.(const run $ seed $ scale $ suite $ seeds $ days $ json_flag
+          $ obs_opts)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

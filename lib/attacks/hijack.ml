@@ -6,6 +6,9 @@ type t = {
   capture_fraction : float;
 }
 
+let m_runs =
+  Metrics.counter ~help:"hijack propagations simulated" "attack.hijack.runs"
+
 let build outcome ~victim ~attacker ~attacker_index =
   let captured = Propagate.captured outcome attacker_index in
   let routed = Propagate.routed_count outcome in
@@ -19,6 +22,7 @@ let same_prefix graph ?failed ?rov ~victim ~attacker () =
   let victim_origin = victim.Announcement.origin in
   if Asn.equal attacker victim_origin then
     invalid_arg "Hijack.same_prefix: attacker is the victim";
+  Metrics.incr m_runs;
   let bogus = Announcement.originate attacker victim.Announcement.prefix in
   let outcome = Propagate.compute graph ?failed ?rov [ victim; bogus ] in
   build outcome ~victim:victim_origin ~attacker ~attacker_index:1
@@ -30,6 +34,7 @@ let more_specific graph ?failed ?rov ~victim ~attacker ~sub () =
   if not (Prefix.subsumes victim.Announcement.prefix sub)
      || Prefix.equal victim.Announcement.prefix sub
   then invalid_arg "Hijack.more_specific: sub must be strictly inside the victim prefix";
+  Metrics.incr m_runs;
   (* The more-specific travels on its own; anyone who hears it prefers it
      by longest-prefix match, whatever the AS path looks like. *)
   let bogus = Announcement.originate attacker sub in

@@ -64,6 +64,16 @@ let make_world graph addressing collectors =
 
 type initial = Route.t Prefix.Map.t Update.Session_map.t
 
+(* Registry mirrors of [stats], bulk-added once per [run] so a process
+   that drives several dynamics runs accumulates across them.  The
+   regression suite pins these against the returned record. *)
+let m_churn = Metrics.counter ~help:"churn events applied" "dynamics.churn_events"
+let m_updates = Metrics.counter ~help:"updates emitted" "dynamics.updates_emitted"
+let m_ann = Metrics.counter ~help:"announcements emitted" "dynamics.announces"
+let m_wd = Metrics.counter ~help:"withdrawals emitted" "dynamics.withdraws"
+let m_recomp = Metrics.counter ~help:"route recomputations" "dynamics.recomputations"
+let m_dropped = Metrics.counter ~help:"updates dropped past horizon" "dynamics.post_horizon_dropped"
+
 type stats = {
   churn_events : int;
   global_events : (Asn.t * Asn.t * float * float) list;
@@ -381,6 +391,7 @@ let poisson_times rng rate duration =
   end
 
 let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
+  Span.with_ ~name:"dynamics.run" @@ fun () ->
   let sessions = Array.of_list (Collector.all_sessions w.collectors) in
   let announced = Array.of_list (Addressing.announced w.addressing) in
   let pfxs = Array.map fst announced in
@@ -529,6 +540,12 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
     | Some c -> Route_cache.stats c
     | None -> Route_cache.zero_stats
   in
+  Metrics.add m_churn st.n_churn;
+  Metrics.add m_updates st.n_updates;
+  Metrics.add m_ann st.n_ann;
+  Metrics.add m_wd st.n_wd;
+  Metrics.add m_recomp st.n_recomp;
+  Metrics.add m_dropped st.n_dropped;
   ( !initial,
     { churn_events = st.n_churn;
       global_events = List.rev st.globals;

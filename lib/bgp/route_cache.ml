@@ -24,6 +24,14 @@ type t = {
 
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
+(* Registry mirrors of the per-cache counters, summed across every cache
+   in the process (one per domain in a parallel sweep). *)
+let m_hits = Metrics.counter ~help:"route cache hits" "route_cache.hits"
+let m_misses = Metrics.counter ~help:"route cache misses" "route_cache.misses"
+
+let m_evictions =
+  Metrics.counter ~help:"route cache LRU evictions" "route_cache.evictions"
+
 let create ~capacity =
   if capacity <= 0 then
     invalid_arg "Route_cache.create: capacity must be positive";
@@ -85,12 +93,14 @@ let find t k =
   match Hashtbl.find_opt t.table k with
   | Some e ->
       t.hits <- t.hits + 1;
+      Metrics.incr m_hits;
       (match t.newest with
        | Some n when n == e -> ()
        | Some _ | None -> unlink t e; push_newest t e);
       Some e.outcome
   | None ->
       t.misses <- t.misses + 1;
+      Metrics.incr m_misses;
       None
 
 let add t k outcome =
@@ -107,7 +117,8 @@ let add t k outcome =
     | Some victim ->
         unlink t victim;
         Hashtbl.remove t.table victim.e_key;
-        t.evictions <- t.evictions + 1
+        t.evictions <- t.evictions + 1;
+        Metrics.incr m_evictions
     | None -> ()
 
 let length t = Hashtbl.length t.table

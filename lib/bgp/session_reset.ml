@@ -16,6 +16,13 @@ type stats = {
   bursts : (Update.session_id * float * float) list;
 }
 
+(* Registry mirrors of the filter's accounting; the regression suite
+   pins them against [stats] (pushed = passed + dropped + buffered). *)
+let m_pushed = Metrics.counter ~help:"updates entering the filter" "session_reset.pushed"
+let m_passed = Metrics.counter ~help:"updates emitted by the filter" "session_reset.passed"
+let m_dropped = Metrics.counter ~help:"updates dropped as table transfer" "session_reset.dropped"
+let m_bursts = Metrics.counter ~help:"table-transfer bursts detected" "session_reset.bursts"
+
 type session_state = {
   id : Update.session_id;
   table : unit Prefix.Table.t;          (* prefixes ever seen on the session *)
@@ -81,6 +88,7 @@ let release t s now =
         window_remove s u;
         t.emit u;
         t.passed <- t.passed + 1;
+        Metrics.incr m_passed;
         loop ()
     | Some _ | None -> ()
   in
@@ -91,12 +99,14 @@ let burst_threshold t s =
     (int_of_float (t.config.table_fraction *. float_of_int (table_size s)))
 
 let drop_buffer t s =
-  Queue.iter (fun _ -> t.dropped <- t.dropped + 1) s.buffer;
+  t.dropped <- t.dropped + Queue.length s.buffer;
+  Metrics.add m_dropped (Queue.length s.buffer);
   Queue.clear s.buffer;
   Prefix.Table.reset s.window_prefixes
 
 let push t u =
   t.pushed <- t.pushed + 1;
+  Metrics.incr m_pushed;
   let s = state t u.Update.session in
   let now = u.Update.time in
   Prefix.Table.replace s.table (Update.prefix u) ();
@@ -104,11 +114,13 @@ let push t u =
     if now -. s.last_time > t.config.quiet_gap then begin
       (* Transfer over; this update is the first normal one after it. *)
       t.bursts <- (s.id, s.burst_start, s.last_time) :: t.bursts;
+      Metrics.incr m_bursts;
       s.in_burst <- false;
       Queue.push u s.buffer;
       window_add s u
     end else begin
-      t.dropped <- t.dropped + 1
+      t.dropped <- t.dropped + 1;
+      Metrics.incr m_dropped
     end
   end else begin
     release t s now;
@@ -141,6 +153,7 @@ let flush t =
   List.iter
     (fun s ->
        t.bursts <- (s.id, s.burst_start, s.last_time) :: t.bursts;
+       Metrics.incr m_bursts;
        s.in_burst <- false)
     open_bursts;
   let buffered =
@@ -164,7 +177,8 @@ let flush t =
   |> List.iter
        (fun (u, _) ->
           t.emit u;
-          t.passed <- t.passed + 1)
+          t.passed <- t.passed + 1;
+          Metrics.incr m_passed)
 
 let stats t =
   { pushed = t.pushed;

@@ -9,6 +9,7 @@ type t = {
 }
 
 let compute ?(threshold = 300.) ?exec (m : Measurement.t) =
+  Span.with_ ~name:"as_exposure.compute" @@ fun () ->
   let pool = match exec with Some p -> p | None -> Pool.default () in
   (* Only cases where the prefix had a baseline path on the session, as in
      the paper (the baseline is "the first path used at the beginning of

@@ -13,6 +13,7 @@ type t = {
 
 let compute ~rng ?exec ?(fs = [ 0.01; 0.02; 0.05; 0.1 ])
     ?(xs = [ 1; 2; 4; 8; 16; 30 ]) ?(trials = 5000) ?(universe = 2400) () =
+  Span.with_ ~name:"compromise.compute" @@ fun () ->
   let pool = match exec with Some p -> p | None -> Pool.default () in
   let cells =
     Array.of_list (List.concat_map (fun f -> List.map (fun x -> (f, x)) xs) fs)

@@ -208,6 +208,7 @@ let merge label outcomes =
 
 let compare_designs ~rng ?(horizon_days = 120) ?(f = 0.05) ?(n_draws = 10)
     ?exec scenario =
+  Span.with_ ~name:"long_term.compare_designs" @@ fun () ->
   (* The adversary draw dominates the variance (a handful of malicious ASes
      either sit on transit paths or do not), so we average each design over
      [n_draws] independent adversaries, all sharing one routing pool. *)

@@ -77,8 +77,19 @@ let track_membership acc time next =
        if not (Hashtbl.mem acc.a_entered a) then Hashtbl.replace acc.a_entered a time)
     next
 
+(* Registry mirrors: one bulk add per [run], so counts are exact at any
+   worker count and accumulate across repeated measurements. *)
+let m_updates =
+  Metrics.counter ~help:"updates consumed by measurement" "measurement.updates"
+
+let m_cells =
+  Metrics.counter ~help:"(session, prefix) cells materialized"
+    "measurement.cells"
+
 let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
     ?(extra_updates = []) ?observe scenario =
+  Span.with_ ~name:"measurement.run" @@ fun () ->
+  let n_consumed = ref 0 in
   let rng = Scenario.rng_for scenario "measurement" in
   let table : acc Key_table.t = Key_table.create 65536 in
   let get_acc key =
@@ -96,6 +107,7 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
         a
   in
   let consume (u : Update.t) =
+    incr n_consumed;
     (match observe with Some f -> f u | None -> ());
     let key = { session = u.Update.session; prefix = Update.prefix u } in
     let acc = get_acc key in
@@ -201,6 +213,8 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
          end)
       table []
   in
+  Metrics.add m_updates !n_consumed;
+  Metrics.add m_cells (List.length cells);
   { scenario; duration; initial; cells; dyn_stats;
     filter_stats = Option.map Session_reset.stats filter_state;
     visibility;

@@ -20,6 +20,7 @@ type session_stats = {
 }
 
 let compute ?exec (m : Measurement.t) =
+  Span.with_ ~name:"path_changes.compute" @@ fun () ->
   let pool = match exec with Some p -> p | None -> Pool.default () in
   (* Group cells by session. *)
   let by_session = Hashtbl.create 128 in

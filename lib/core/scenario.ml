@@ -13,7 +13,11 @@ type t = {
   workspace : Propagate.Workspace.t;
 }
 
+let m_builds = Metrics.counter ~help:"scenarios built" "scenario.builds"
+
 let build ~seed size =
+  Span.with_ ~name:"scenario.build" @@ fun () ->
+  Metrics.incr m_builds;
   let rng = Rng.of_int seed in
   let topo_rng = Rng.split rng in
   let addr_rng = Rng.split rng in

@@ -13,7 +13,36 @@
    reduced in submission order, and seeded work derives per-item RNG
    streams before anything runs (see [map_seeded]). *)
 
-let now () = Unix.gettimeofday ()
+let now = Clock.now
+
+(* Registry handles (see lib/obs): counts are exact and scheduling-
+   independent — one [exec.sweeps] increment and one observation per
+   histogram per sweep — while the histogram timing fields carry the
+   wall-clock content of [stats]. *)
+let m_sweeps = Metrics.counter ~help:"parallel sweeps submitted" "exec.sweeps"
+let m_chunks = Metrics.counter ~help:"chunks across all sweeps" "exec.chunks"
+let m_jobs = Metrics.gauge ~help:"width of the last pool created" "exec.jobs"
+
+let m_sweep_s =
+  Metrics.histogram ~help:"caller wall seconds per sweep" "exec.sweep_seconds"
+
+let m_busy_s =
+  Metrics.histogram ~help:"summed domain-busy seconds per sweep"
+    "exec.busy_seconds"
+
+let m_wait_s =
+  Metrics.histogram ~help:"summed worker-wait seconds per sweep"
+    "exec.wait_seconds"
+
+type domain_stats = { chunks : int; busy : float; wait : float }
+
+type stats = {
+  jobs : int;
+  calls : int;
+  chunks : int;
+  wall : float;
+  domains : domain_stats array;
+}
 
 type job = {
   run_chunk : int -> unit;
@@ -46,6 +75,7 @@ type t = {
   mutable calls : int;             (* protected by [submit] *)
   mutable chunks_total : int;
   mutable wall : float;
+  mutable last : stats option;     (* protected by [submit] *)
 }
 
 let jobs t = t.n_jobs
@@ -119,8 +149,10 @@ let create ~jobs () =
       err = Atomic.make None;
       calls = 0;
       chunks_total = 0;
-      wall = 0. }
+      wall = 0.;
+      last = None }
   in
+  Metrics.set m_jobs (float_of_int jobs);
   t.workers <- Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
@@ -166,6 +198,17 @@ let run_job t ~n_chunks run_chunk =
   then invalid_arg "Pool: tasks must not submit work to their own pool";
   Mutex.lock t.submit;
   Atomic.set t.active_caller self;
+  (* Per-call reset marker: remember where every slot stood so the
+     deltas of *this* sweep can be separated from the pool's cumulative
+     totals.  Chunk counts are published before the completion count, so
+     chunk deltas are exact; a worker adds its busy tail *after* its
+     last chunk completes the sweep, so a slow tail may slip into the
+     next sweep's delta — busy/wait deltas are non-negative and sum to
+     the totals over a pool's lifetime, but an individual sweep's is a
+     lower bound (exact at [jobs = 1]).  See [last_sweep]. *)
+  let marks =
+    Array.map (fun s -> (s.s_chunks, s.s_busy, s.s_wait)) t.slots
+  in
   let started = now () in
   Atomic.set t.err None;
   let job =
@@ -188,7 +231,27 @@ let run_job t ~n_chunks run_chunk =
   end;
   t.calls <- t.calls + 1;
   t.chunks_total <- t.chunks_total + n_chunks;
-  t.wall <- t.wall +. (now () -. started);
+  let dt = now () -. started in
+  t.wall <- t.wall +. dt;
+  let deltas =
+    Array.mapi
+      (fun i (c0, b0, w0) ->
+        let s = t.slots.(i) in
+        { chunks = s.s_chunks - c0;
+          busy = Float.max 0. (s.s_busy -. b0);
+          wait = Float.max 0. (s.s_wait -. w0) })
+      marks
+  in
+  t.last <-
+    Some { jobs = t.n_jobs; calls = 1; chunks = n_chunks; wall = dt;
+           domains = deltas };
+  Metrics.incr m_sweeps;
+  Metrics.add m_chunks n_chunks;
+  Metrics.observe m_sweep_s dt;
+  Metrics.observe m_busy_s
+    (Array.fold_left (fun acc d -> acc +. d.busy) 0. deltas);
+  Metrics.observe m_wait_s
+    (Array.fold_left (fun acc d -> acc +. d.wait) 0. deltas);
   let failure = Atomic.get t.err in
   Atomic.set t.active_caller (-1);
   Mutex.unlock t.submit;
@@ -262,16 +325,6 @@ let get r =
 
 (* ---- stats ------------------------------------------------------------ *)
 
-type domain_stats = { chunks : int; busy : float; wait : float }
-
-type stats = {
-  jobs : int;
-  calls : int;
-  chunks : int;
-  wall : float;
-  domains : domain_stats array;
-}
-
 let stats t =
   Mutex.lock t.submit;
   let s =
@@ -287,11 +340,18 @@ let stats t =
   Mutex.unlock t.submit;
   s
 
+let last_sweep t =
+  Mutex.lock t.submit;
+  let s = t.last in
+  Mutex.unlock t.submit;
+  s
+
 let reset_stats t =
   Mutex.lock t.submit;
   t.calls <- 0;
   t.chunks_total <- 0;
   t.wall <- 0.;
+  t.last <- None;
   Array.iter
     (fun s ->
        s.s_chunks <- 0;

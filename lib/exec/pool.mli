@@ -127,6 +127,18 @@ type stats = {
 val stats : t -> stats
 val reset_stats : t -> unit
 
+val last_sweep : t -> stats option
+(** The per-call delta of the most recent sweep — [calls = 1], [chunks]
+    the sweep's own chunk count, [wall] its caller wall time, [domains]
+    the per-domain progress since the sweep started (the per-call reset
+    marker that makes a reused pool's counters merge-correct). Chunk
+    deltas are exact at any [jobs]; busy/wait deltas are non-negative
+    lower bounds that sum to the cumulative totals over the pool's
+    lifetime (a worker publishes its busy tail after the completion
+    signal, so a slow tail can slip into the next sweep's delta), and
+    are exact at [jobs = 1]. [None] before the first sweep and after
+    {!reset_stats}. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 (** Multi-line human-readable rendering, printed by the bench ablations
     and the [--jobs] CLI subcommands. *)

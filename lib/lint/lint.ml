@@ -1,6 +1,6 @@
 let all_rules =
   Routing_lint.rules @ Topology_lint.rules @ Addressing_lint.rules
-  @ Scenario_lint.rules
+  @ Scenario_lint.rules @ Obs_lint.rules
 
 let find_rule selector =
   List.find_opt (fun r -> Diag.matches_rule r selector) all_rules
@@ -60,5 +60,6 @@ let run ?rules ?(max_prefixes = 512) ?(determinism = true) ?exec
          @ Scenario_lint.check_parallel_fingerprint s
        else [])
   in
-  let diags = routing @ topology @ addressing @ scenario in
+  let obs = Obs_lint.check (Metrics.registrations ()) in
+  let diags = routing @ topology @ addressing @ scenario @ obs in
   match rules with None -> diags | Some rules -> select ~rules diags

@@ -1,0 +1,22 @@
+(** Static analysis of the observability registry.
+
+    [lib/obs] keeps the declared metric schema as data
+    ([Qs_obs.Manifest.names]); this analyzer cross-checks it against the
+    live registry. The check is pure over its inputs, so tests can feed
+    synthetic registration lists; [Lint.run] feeds the real
+    [Qs_obs.Metrics.registrations ()]. Linking this module force-links
+    every instrumented module, so the registration set is the same in
+    every binary that runs the lint. *)
+
+val metric_registry_mismatch : Diag.rule
+(** [QS306]: a registered metric name is missing from the manifest, a
+    manifest name was never registered, or a name was registered more
+    than once (two subsystems claiming the same metric). Names under
+    ["test."] are reserved for test suites and exempt. *)
+
+val rules : Diag.rule list
+
+val check : ?manifest:string list -> (string * int) list -> Diag.t list
+(** [check registrations] compares [(name, times-registered)] pairs —
+    normally [Qs_obs.Metrics.registrations ()] — against [manifest]
+    (default [Qs_obs.Manifest.names]). *)

@@ -1,0 +1,13 @@
+(** The declared metric schema.
+
+    Every metric the pipeline registers at module initialization is
+    listed here by name; the QS306 lint rule cross-checks this list
+    against the live registry in both directions (a registered name
+    missing from the manifest, or a manifest name never registered, is
+    an error — as is a name registered twice).  Keeping the schema as
+    data makes the exports' key set reviewable in one place and lets the
+    golden-trace test pin it. *)
+
+val names : string list
+(** Sorted. Names under ["test."] never appear here — that prefix is
+    reserved for test suites and exempt from QS306. *)

@@ -1,0 +1,39 @@
+(** Lightweight span tracing.
+
+    A span is one timed region of the pipeline — a [Dynamics.run], a
+    [Path_changes.compute] sweep — recorded with its wall-clock duration
+    (via {!Clock}, so a frozen clock yields exact-zero durations), the
+    bytes allocated inside it ([Gc.allocated_bytes] delta), and its
+    position in the per-domain nesting stack ([path] is the
+    ["parent/child"] chain, [depth] its length).
+
+    Tracing is {b off by default} — [with_ ~name f] is a single atomic
+    load away from being [f ()] — and is switched on by the [--trace]
+    flag.  Spans accumulate in per-domain buffers (no cross-domain
+    contention on the hot path) and are collected by {!drain}. *)
+
+type t = {
+  name : string;        (** leaf name as passed to [with_] *)
+  path : string;        (** ["outer/inner"] chain within this domain *)
+  depth : int;          (** nesting depth; 1 for a root span *)
+  domain : int;         (** recording domain's id *)
+  start : float;        (** {!Clock.now} at entry *)
+  dur : float;          (** wall-clock seconds inside the span *)
+  alloc_bytes : float;  (** [Gc.allocated_bytes] delta *)
+}
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a span named [name].  The span is
+    recorded even when [f] raises; the exception is re-raised.  When
+    tracing is disabled this is just [f ()]. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val drain : unit -> t list
+(** All spans recorded since the last [drain]/[reset], in domain
+    registration order and, within a domain, completion order (so a
+    parent follows its children).  Clears the buffers. *)
+
+val reset : unit -> unit
+(** Discard buffered spans without reading them. *)

@@ -205,6 +205,61 @@ let test_stats_accounting () =
       check_int "reset calls" 0 s.Pool.calls;
       check_int "reset chunks" 0 s.Pool.chunks)
 
+(* The satellite bugfix: a pool reused across successive map calls must
+   keep each call's busy/wait/chunk deltas separable from the cumulative
+   totals ([Pool.last_sweep] is the per-call reset marker). Chunk deltas
+   are exact at any width; busy/wait deltas are non-negative and bounded
+   by the totals (a worker's busy tail can land after the completion
+   signal), and exact at jobs=1 where everything runs inline. *)
+let test_last_sweep_deltas () =
+  let sum_busy (ds : Pool.domain_stats array) =
+    Array.fold_left (fun a (d : Pool.domain_stats) -> a +. d.Pool.busy) 0. ds
+  in
+  List.iter
+    (fun jobs ->
+       Pool.with_pool ~jobs (fun p ->
+           check_bool "no sweep yet" true (Pool.last_sweep p = None);
+           let arr = Array.init 64 (fun i -> i) in
+           let chunk_deltas = ref 0 and busy_deltas = ref 0. in
+           for call = 1 to 4 do
+             ignore (Pool.map ~chunk:2 p (fun x -> x * x) arr);
+             match Pool.last_sweep p with
+             | None -> Alcotest.fail "last_sweep None after a sweep"
+             | Some d ->
+                 check_int "delta calls" 1 d.Pool.calls;
+                 check_int "delta chunks" 32 d.Pool.chunks;
+                 check_bool "delta wall non-negative" true (d.Pool.wall >= 0.);
+                 check_int "per-domain delta chunks sum to sweep chunks" 32
+                   (Array.fold_left
+                      (fun a (ds : Pool.domain_stats) -> a + ds.Pool.chunks)
+                      0 d.Pool.domains);
+                 Array.iter
+                   (fun (ds : Pool.domain_stats) ->
+                      check_bool "delta busy non-negative" true
+                        (ds.Pool.busy >= 0.);
+                      check_bool "delta wait non-negative" true
+                        (ds.Pool.wait >= 0.))
+                   d.Pool.domains;
+                 chunk_deltas := !chunk_deltas + d.Pool.chunks;
+                 busy_deltas := !busy_deltas +. sum_busy d.Pool.domains;
+                 let cum = Pool.stats p in
+                 check_int "cumulative calls" call cum.Pool.calls;
+                 check_bool "delta busy bounded by totals" true
+                   (sum_busy d.Pool.domains
+                    <= sum_busy cum.Pool.domains +. 1e-9)
+           done;
+           let cum = Pool.stats p in
+           check_int "chunk deltas sum to total" cum.Pool.chunks !chunk_deltas;
+           check_bool "busy deltas bounded by total" true
+             (!busy_deltas <= sum_busy cum.Pool.domains +. 1e-6);
+           if jobs = 1 then
+             check_bool "busy deltas sum to total at jobs=1" true
+               (Float.abs (!busy_deltas -. sum_busy cum.Pool.domains) < 1e-6);
+           Pool.reset_stats p;
+           check_bool "reset clears last_sweep" true
+             (Pool.last_sweep p = None)))
+    [ 1; 4 ]
+
 let () =
   Alcotest.run "qs_exec"
     [ ("pool",
@@ -229,4 +284,6 @@ let () =
            test_nested_submission_rejected;
          Alcotest.test_case "shutdown" `Quick test_shutdown_rejects ]);
       ("stats",
-       [ Alcotest.test_case "accounting" `Quick test_stats_accounting ]) ]
+       [ Alcotest.test_case "accounting" `Quick test_stats_accounting;
+         Alcotest.test_case "last_sweep deltas" `Quick
+           test_last_sweep_deltas ]) ]

@@ -12,7 +12,10 @@
 #   3. raw concurrency primitives (Domain.spawn, Thread.create) must not
 #      appear outside lib/exec/ — every parallel sweep goes through
 #      Qs_exec.Pool, which is where the determinism and per-domain
-#      isolation guarantees live. Ad-hoc domains would bypass both.
+#      isolation guarantees live. Ad-hoc domains would bypass both;
+#   4. raw timing primitives (Unix.gettimeofday, Sys.time) must not appear
+#      outside lib/obs/ — every wall-clock read goes through Qs_obs.Clock,
+#      so tests can freeze the clock and make timing fields reproducible.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -39,6 +42,13 @@ if grep -rn --include='*.ml' --include='*.mli' \
      -e 'Domain\.spawn' -e 'Thread\.create' \
      lib bin examples bench | grep -v '^lib/exec/'; then
   echo "check_mli: raw concurrency primitive outside lib/exec/ (use Qs_exec.Pool)" >&2
+  fail=1
+fi
+
+if grep -rn --include='*.ml' --include='*.mli' \
+     -e 'Unix\.gettimeofday' -e 'Sys\.time' \
+     lib bin examples bench | grep -v '^lib/obs/'; then
+  echo "check_mli: raw timing primitive outside lib/obs/ (use Qs_obs.Clock)" >&2
   fail=1
 fi
 
