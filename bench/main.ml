@@ -483,6 +483,56 @@ let () =
          Format.printf "  %-40s %s@." name est)
       (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
 
+    (* The valley-free closure is the substrate of every Qs_static bound,
+       and the one kernel already expected to work at CAIDA scale — so it
+       is benchmarked on the harness's main scenario (2 362 ASes at the
+       default paper scale), not the small fixture, and the result is
+       extrapolated to a 47k-AS graph under the O(V+E) cost model at the
+       measured links-per-AS ratio. *)
+    Format.printf "@.=== micro: valley-free closure kernel (Qs_static substrate) ===@.";
+    let main_ix = scenario.Scenario.indexed in
+    let n_main = As_graph.num_ases scenario.Scenario.graph in
+    let m_main = As_graph.num_links scenario.Scenario.graph in
+    let reach = Reach.create main_ix in
+    let closure_sources =
+      As_graph.ases scenario.Scenario.graph |> Array.of_list
+    in
+    let next_src = ref 0 in
+    let closure_tests =
+      Test.make_grouped ~name:"quicksand"
+        [ Test.make ~name:(Printf.sprintf "reach-closure-%d-ases" n_main)
+            (Staged.stage (fun () ->
+                 (* rotate the source so the kernel is not measured on one
+                    lucky BFS shape *)
+                 let src =
+                   closure_sources.(!next_src mod Array.length closure_sources)
+                 in
+                 incr next_src;
+                 Reach.compute reach src)) ]
+    in
+    let raw = Benchmark.all cfg Instance.[ monotonic_clock ] closure_tests in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    (match
+       Hashtbl.fold (fun _ o acc -> Some o :: acc) results [] |> List.concat_map
+         (function Some o -> Analyze.OLS.estimates o |> Option.value ~default:[]
+                 | None -> [])
+     with
+     | t :: _ ->
+         Format.printf "  %-40s %12.1f ns/run@."
+           (Printf.sprintf "reach-closure-%d-ases" n_main) t;
+         (* O(V+E) model: scale both nodes and links by 47k/V (links/AS
+            ratio held at the measured value). *)
+         let scale = 47_000. /. float_of_int n_main in
+         let t47 = t *. scale in
+         Format.printf
+           "  extrapolated to 47k ASes (%d links/AS held): %.1f ms per \
+            closure, %.1f s for an all-AS closure cache@."
+           (int_of_float
+              (Float.round (2. *. float_of_int m_main /. float_of_int n_main)))
+           (t47 /. 1e6)
+           (t47 *. 47_000. /. 1e9)
+     | [] -> Format.printf "  (no estimate for the closure kernel)@.");
+
     (* The month-dynamics kernels each run a whole simulation (~0.1–0.5 s),
        so they get their own, longer quota — the 0.5 s above would fit a
        single run. Short mostly non-overlapping outages are the regime the

@@ -368,14 +368,28 @@ let mrt_cmd =
 
 let lint_cmd =
   let run seed scale json rules fail_on max_prefixes no_determinism list_rules
-      jobs obs =
+      explain jobs obs =
     if list_rules then
-      List.iter
-        (fun (r : Diag.rule) ->
-           Format.printf "%-10s %-26s %-5s %s@." r.Diag.code r.Diag.slug
-             (Diag.severity_to_string r.Diag.severity) r.Diag.doc)
+      List.sort
+        (fun (a : Diag.rule) (b : Diag.rule) ->
+           String.compare a.Diag.code b.Diag.code)
         Lint.all_rules
-    else begin
+      |> List.iter (fun (r : Diag.rule) ->
+          Format.printf "%-10s %-26s %-5s %s@." r.Diag.code r.Diag.slug
+            (Diag.severity_to_string r.Diag.severity) r.Diag.doc)
+    else match explain with
+    | Some sel -> (
+        match Lint.find_rule sel with
+        | None ->
+            Format.eprintf
+              "quicksand: unknown lint rule %S (try --list-rules)@." sel;
+            Stdlib.exit 2
+        | Some r ->
+            Format.printf "@[<v>%s %s (%s)@,%s@,@,@[<hov>%a@]@]@."
+              r.Diag.code r.Diag.slug
+              (Diag.severity_to_string r.Diag.severity) r.Diag.doc
+              Format.pp_print_text r.Diag.explain)
+    | None -> begin
       if max_prefixes <= 0 then begin
         Format.eprintf "quicksand: --max-prefixes must be positive@.";
         Stdlib.exit 2
@@ -427,11 +441,13 @@ let lint_cmd =
                  like $(b,valley-violation), or both combined); default all.")
   in
   let fail_on =
-    Arg.(value & opt (enum [ ("warn", Diag.Warn); ("error", Diag.Error) ])
-           Diag.Error
+    Arg.(value
+         & opt (enum [ ("warn", Diag.Warn); ("warning", Diag.Warn);
+                       ("error", Diag.Error) ])
+             Diag.Error
          & info [ "fail-on" ] ~docv:"SEVERITY"
              ~doc:"Exit non-zero if a diagnostic of at least this severity \
-                   is found: $(b,warn) or $(b,error).")
+                   is found: $(b,warn) (or $(b,warning)) or $(b,error).")
   in
   let max_prefixes =
     Arg.(value & opt int 512 & info [ "max-prefixes" ] ~docv:"N"
@@ -445,13 +461,200 @@ let lint_cmd =
   in
   let list_rules =
     Arg.(value & flag & info [ "list-rules" ]
-           ~doc:"Print the rule registry and exit.")
+           ~doc:"Print the rule registry (sorted by code) and exit.")
+  in
+  let explain =
+    Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"RULE"
+           ~doc:"Print one rule's full rationale (selected by code, slug or \
+                 combined id) and exit.")
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically verify routing-world invariants of a seeded scenario")
     Term.(const run $ seed $ scale $ json $ rules $ fail_on $ max_prefixes
-          $ no_determinism $ list_rules $ jobs $ obs_opts)
+          $ no_determinism $ list_rules $ explain $ jobs $ obs_opts)
+
+let surface_cmd =
+  let run seed scale n_pairs n_adversaries json jobs obs =
+    with_obs obs (fun () ->
+        let s = Scenario.build ~seed scale in
+        if not json then
+          Format.printf
+            "surface: %d ASes, %d relays (seed %d)@."
+            (As_graph.num_ases s.Scenario.graph)
+            (Consensus.n_relays s.Scenario.consensus) seed;
+        let g = s.Scenario.graph in
+        let rng = Scenario.rng_for s "surface" in
+        (* Monitored pairs: plausible client stubs x guard-prefix origins,
+           drawn from the scenario's dedicated "surface" RNG stream. *)
+        let guards = Array.of_list (Consensus.guards s.Scenario.consensus) in
+        let pairs =
+          let rec go acc k =
+            if k = 0 then List.rev acc
+            else
+              let client = Scenario.random_client_as ~rng s in
+              let relay = Rng.pick rng guards in
+              match
+                Tor_prefix.prefix_of_relay s.Scenario.tor_prefixes relay
+              with
+              | Some (_, origin) -> go ((client, origin) :: acc) (k - 1)
+              | None -> go acc (k - 1) (* unrouted relay: drop the draw *)
+          in
+          go [] n_pairs
+        in
+        (* Candidate adversaries: the high-degree transit core (the ASes
+           best placed to win propagation races) plus a sample of stubs
+           as a baseline. *)
+        let adversaries =
+          let by_degree =
+            As_graph.ases g
+            |> List.sort (fun a b ->
+                match Int.compare (As_graph.degree g b) (As_graph.degree g a)
+                with
+                | 0 -> Asn.compare a b
+                | c -> c)
+          in
+          let core = List.filteri (fun i _ -> i < (n_adversaries + 1) / 2)
+              by_degree in
+          let stubs =
+            As_graph.ases g
+            |> List.filter (fun a ->
+                (As_graph.info g a).As_graph.tier = As_graph.Stub)
+            |> Array.of_list
+          in
+          let sampled =
+            Rng.sample_without_replacement rng
+              (min (n_adversaries / 2) (Array.length stubs))
+              stubs
+          in
+          Asn.Set.elements (Asn.Set.of_list (core @ sampled))
+        in
+        let surfaces =
+          Pool.per_domain (fun () -> Static_surface.create s.Scenario.indexed)
+        in
+        let feas, exposure_sizes, mean_resilience =
+          Span.with_ ~name:"surface" (fun () ->
+              with_exec ~show_stats:(not json) jobs (fun exec ->
+                  let feas =
+                    Pool.map_list exec
+                      (fun a ->
+                         Static_surface.feasibility (Pool.get surfaces) ~pairs a)
+                      adversaries
+                  in
+                  let sizes =
+                    Pool.map_list exec
+                      (fun (client, guard) ->
+                         Asn.Set.cardinal
+                           (Static_surface.exposure_bound (Pool.get surfaces)
+                              ~client ~guard))
+                      pairs
+                  in
+                  let resilience =
+                    Pool.map_list exec
+                      (fun (client, guard) ->
+                         Static_surface.resilience (Pool.get surfaces)
+                           ~adversaries ~victim:guard client)
+                      pairs
+                  in
+                  let mean l =
+                    match l with
+                    | [] -> 0.
+                    | _ ->
+                        List.fold_left ( +. ) 0. l
+                        /. float_of_int (List.length l)
+                  in
+                  (feas, sizes, mean resilience)))
+        in
+        let feas =
+          List.sort
+            (fun (a : Static_surface.feasibility) b ->
+               match Int.compare b.Static_surface.intercept
+                       a.Static_surface.intercept
+               with
+               | 0 -> Asn.compare a.Static_surface.adversary
+                        b.Static_surface.adversary
+               | c -> c)
+            feas
+        in
+        let frac n (f : Static_surface.feasibility) =
+          if f.Static_surface.pairs = 0 then 0.
+          else float_of_int n /. float_of_int f.Static_surface.pairs
+        in
+        let sorted_sizes = List.sort Int.compare exposure_sizes in
+        let nth_size q =
+          match sorted_sizes with
+          | [] -> 0
+          | l -> List.nth l (q * (List.length l - 1) / 100)
+        in
+        let disconnected =
+          List.length (List.filter (fun n -> n = 0) exposure_sizes)
+        in
+        if json then begin
+          Format.printf "{\"pairs\":%d,\"adversaries\":%d,@\n"
+            (List.length pairs) (List.length adversaries);
+          Format.printf
+            " \"exposure\":{\"min\":%d,\"median\":%d,\"max\":%d,\"disconnected\":%d},@\n"
+            (nth_size 0) (nth_size 50) (nth_size 100) disconnected;
+          Format.printf " \"mean_resilience\":%.6f,@\n \"bounds\":[@\n"
+            mean_resilience;
+          List.iteri
+            (fun i (f : Static_surface.feasibility) ->
+               Format.printf
+                 "  {\"adversary\":%d,\"tier\":%S,\"degree\":%d,\
+                  \"blackhole_subprefix\":%.6f,\"blackhole_same_prefix\":%.6f,\
+                  \"intercept\":%.6f}%s@\n"
+                 (Asn.to_int f.Static_surface.adversary)
+                 (As_graph.tier_to_string
+                    (As_graph.info g f.Static_surface.adversary).As_graph.tier)
+                 (As_graph.degree g f.Static_surface.adversary)
+                 (frac f.Static_surface.blackhole_subprefix f)
+                 (frac f.Static_surface.blackhole_same_prefix f)
+                 (frac f.Static_surface.intercept f)
+                 (if i = List.length feas - 1 then "" else ","))
+            feas;
+          Format.printf " ]}@."
+        end
+        else begin
+          Format.printf
+            "monitored pairs: %d (%d statically disconnected)@."
+            (List.length pairs) disconnected;
+          Format.printf
+            "exposure bound size min/median/max: %d / %d / %d ASes@."
+            (nth_size 0) (nth_size 50) (nth_size 100);
+          Format.printf
+            "mean client resilience vs the %d candidates: %.3f@.@."
+            (List.length adversaries) mean_resilience;
+          Format.printf "%-10s %-8s %6s %15s %16s %10s@." "adversary" "tier"
+            "degree" "blackhole(sub)" "blackhole(same)" "intercept";
+          List.iter
+            (fun (f : Static_surface.feasibility) ->
+               Format.printf "%-10s %-8s %6d %15.3f %16.3f %10.3f@."
+                 (Asn.to_string f.Static_surface.adversary)
+                 (As_graph.tier_to_string
+                    (As_graph.info g f.Static_surface.adversary).As_graph.tier)
+                 (As_graph.degree g f.Static_surface.adversary)
+                 (frac f.Static_surface.blackhole_subprefix f)
+                 (frac f.Static_surface.blackhole_same_prefix f)
+                 (frac f.Static_surface.intercept f))
+            feas
+        end)
+  in
+  let n_pairs =
+    Arg.(value & opt int 40 & info [ "pairs" ] ~docv:"N"
+           ~doc:"Monitored (client, guard) pairs to draw.")
+  in
+  let n_adversaries =
+    Arg.(value & opt int 20 & info [ "adversaries" ] ~docv:"N"
+           ~doc:"Candidate adversary ASes (top-degree core plus sampled \
+                 stubs).")
+  in
+  Cmd.v
+    (Cmd.info "surface"
+       ~doc:"Static attack surface: per-adversary upper bounds on \
+             blackhole/interception reach, without simulating a single \
+             churn day")
+    Term.(const run $ seed $ scale $ n_pairs $ n_adversaries $ json_flag
+          $ jobs $ obs_opts)
 
 let check_cmd =
   let run seed scale suite seeds days json obs =
@@ -491,31 +694,45 @@ let check_cmd =
       Report.fuzz ~json fmt [ ("mrt", mrt); ("session-reset", sr) ];
       if not (Fuzz.ok mrt && Fuzz.ok sr) then failed := true
     in
+    let run_static () =
+      let seeds = List.init (if seeds = 0 then 5 else seeds) (fun i -> i + 1) in
+      if not json then
+        Format.printf
+          "static: %d seeds, dynamic paths and attack wins vs the \
+           valley-free closure bounds@."
+          (List.length seeds);
+      let outcomes = Differential.static ~seeds scale in
+      Report.differential ~json fmt outcomes;
+      if not (Differential.all_ok outcomes) then failed := true
+    in
     with_obs obs (fun () ->
         match suite with
         | `Conform -> run_conform ()
         | `Diff -> run_diff ()
         | `Fuzz -> run_fuzz ()
-        | `All -> run_conform (); run_diff (); run_fuzz ());
+        | `Static -> run_static ()
+        | `All -> run_conform (); run_diff (); run_fuzz (); run_static ());
     if !failed then Stdlib.exit 1
   in
   let suite =
     Arg.(value
          & opt (enum [ ("conform", `Conform); ("diff", `Diff);
-                       ("fuzz", `Fuzz); ("all", `All) ])
+                       ("fuzz", `Fuzz); ("static", `Static); ("all", `All) ])
              `All
          & info [ "suite" ] ~docv:"SUITE"
              ~doc:"Which harness to run: $(b,conform) (streaming invariant \
                    checker over a full measurement), $(b,diff) \
                    (configuration pairs that must not change results), \
                    $(b,fuzz) (MRT codec mutation + session-reset \
-                   injection), or $(b,all).")
+                   injection), $(b,static) (dynamic paths and attack wins \
+                   audited against the static valley-free bounds), or \
+                   $(b,all).")
   in
   let seeds =
     Arg.(value & opt int 0 & info [ "seeds" ] ~docv:"N"
-           ~doc:"Seed count for $(b,diff) (default 2) and $(b,fuzz) \
-                 (default 200). Ignored by $(b,conform), which uses \
-                 $(b,--seed).")
+           ~doc:"Seed count for $(b,diff) (default 2), $(b,fuzz) \
+                 (default 200) and $(b,static) (default 5). Ignored by \
+                 $(b,conform), which uses $(b,--seed).")
   in
   Cmd.v
     (Cmd.info "check"
@@ -537,4 +754,5 @@ let () =
           [ dataset_cmd; concentration_cmd; path_changes_cmd; extra_ases_cmd;
             compromise_cmd; asym_cmd; hijack_cmd; intercept_cmd; defend_cmd;
             rov_cmd; asymmetry_cmd; long_term_cmd;
-            topology_cmd; consensus_cmd; mrt_cmd; lint_cmd; check_cmd ]))
+            topology_cmd; consensus_cmd; mrt_cmd; lint_cmd; surface_cmd;
+            check_cmd ]))

@@ -1,0 +1,98 @@
+(** Static attack-surface bounds over the AS graph.
+
+    This is the no-simulation half of the paper's question: which ASes
+    {e can ever} observe, blackhole, or intercept a (client, guard) pair
+    under Gao–Rexford export policies? Everything here is derived from
+    {!Qs_topology.Reach} valley-free closures on the {e intact} graph, so
+    by closure monotonicity the answers are upper bounds that stay valid
+    for every churn state, failure pattern, and tie-break the dynamic
+    simulator can reach. The [static] differential suite
+    ([Qs_check.Differential]) audits exactly that containment against
+    the live pipeline.
+
+    Three refinements make the bounds non-trivial:
+
+    - {b exposure} ({!exposure_bound}): an AS can sit on a forwarding
+      path between [client] and [guard] only if it lies on some
+      valley-free walk between them ({!Reach.on_some_path});
+    - {b hearing} ({!can_hear}): an AS can be offered a route for a
+      prefix only if it is in the origin's valley-free forward closure;
+    - {b customer-cone protection}: in a {e same-prefix} race (equally
+      specific bogus announcement, longest-prefix match cannot decide),
+      an AS [x] with the victim in its customer cone and the adversary
+      outside it always prefers a customer-learned route descending to
+      the true origin — such an [x] can never be captured, whatever
+      prepending or scoping the adversary tries. {!can_blackhole}
+      [~same_prefix:true] subtracts this protected set; for
+      more-specific hijacks no such protection exists and the bound is
+      the plain hear set.
+
+    A {!t} caches one closure per source AS (a byte per graph node, so a
+    few KB each) and is single-threaded like the underlying
+    {!Reach.t} workspace — use one per domain
+    ([Qs_exec.Pool.per_domain]). *)
+
+type t
+
+val create : As_graph.Indexed.t -> t
+(** A fresh analyzer (empty closure cache) over one indexed graph. *)
+
+val closure : t -> Asn.t -> Reach.closure
+(** The cached full-graph valley-free closure from one AS.
+    @raise Not_found if the AS is not in the graph. *)
+
+val exposure_bound : t -> client:Asn.t -> guard:Asn.t -> Asn.Set.t
+(** Every AS that can appear on {e any} policy-compliant forward or
+    reverse path between the pair ({!Reach.exposure}); both endpoints
+    are always members when the pair is connected. Empty iff no
+    valley-free walk joins the endpoints. *)
+
+val pair_connected : t -> client:Asn.t -> guard:Asn.t -> bool
+(** Some valley-free walk joins client and guard (non-empty exposure
+    bound, without materializing the set). *)
+
+val can_hear : t -> listener:Asn.t -> origin:Asn.t -> bool
+(** Can [listener] ever be offered a route for a prefix originated (or
+    forged) at [origin]? True iff [listener] is in [origin]'s forward
+    closure. This is the QS403 vantage predicate: a collector whose
+    peer fails it for a monitored prefix records nothing, statically. *)
+
+val can_blackhole :
+  t -> ?same_prefix:bool -> adversary:Asn.t -> victim:Asn.t -> Asn.t -> bool
+(** [can_blackhole t ~adversary ~victim x]: can the adversary, by
+    originating a bogus route for the victim's prefix, ever attract
+    [x]'s traffic? Default ([same_prefix:false]) is the more-specific
+    hijack bound: every AS that can hear the adversary.
+    [~same_prefix:true] additionally subtracts the customer-cone
+    protected set (see above), which is sound only for equally-specific
+    races. *)
+
+val can_intercept : t -> adversary:Asn.t -> victim:Asn.t -> Asn.t -> bool
+(** Interception needs the capture {e and} a policy-compliant return
+    path from the adversary to the true origin that survives the
+    adversary's own announcement: [can_blackhole ~same_prefix:true]
+    conjoined with [can_hear ~listener:adversary ~origin:victim]. *)
+
+type feasibility = {
+  adversary : Asn.t;
+  pairs : int;  (** monitored pairs evaluated *)
+  blackhole_subprefix : int;
+      (** pairs whose client the adversary can capture with a
+          more-specific bogus prefix *)
+  blackhole_same_prefix : int;
+      (** pairs whose client it can capture in an equal-specific race *)
+  intercept : int;  (** pairs it can capture {e and} still deliver *)
+}
+
+val feasibility : t -> pairs:(Asn.t * Asn.t) list -> Asn.t -> feasibility
+(** Evaluate one candidate adversary against a list of
+    [(client, guard-origin)] pairs: counts of pairs it can ever
+    blackhole (both prefix regimes) or intercept. Fractions of the
+    paper's §3.2 kind are [float count /. float pairs]. *)
+
+val resilience : t -> adversaries:Asn.t list -> victim:Asn.t -> Asn.t -> float
+(** Counter-RAPTOR-style resilience of AS [x] for a prefix originated at
+    [victim]: the fraction of candidate adversaries that can {e never}
+    capture [x] in an equal-specific race. 1.0 for an empty candidate
+    list. A sound {e lower} bound on the dynamic resilience (static
+    capture is necessary for dynamic capture). *)

@@ -43,6 +43,8 @@ let more_specific graph ?failed ?rov ~victim ~attacker ~sub () =
 
 let is_captured t a = List.exists (Asn.equal a) t.captured
 
+let wins = is_captured
+
 let anonymity_set t ~clients =
   List.filter_map
     (fun (asn, tag) -> if is_captured t asn then Some (tag, asn) else None)

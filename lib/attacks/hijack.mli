@@ -35,6 +35,14 @@ val more_specific :
 val is_captured : t -> Asn.t -> bool
 (** Does this AS's traffic toward the victim reach the attacker? *)
 
+val wins : t -> Asn.t -> bool
+(** The §3.2 win condition against one client AS, under its own name so
+    static analyses can audit it: the hijack {e wins} against a client
+    iff the client's traffic toward the victim is deflected to the
+    attacker. Alias of {!is_captured}; the [static] differential suite
+    checks every winning client against
+    [Qs_analysis.Static_surface.can_blackhole]. *)
+
 val anonymity_set :
   t -> clients:(Asn.t * 'a) list -> ('a * Asn.t) list
 (** [anonymity_set t ~clients] — given clients tagged with their AS — the

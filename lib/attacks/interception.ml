@@ -123,3 +123,5 @@ let run graph ?failed ?rov ?scope ~victim ~attacker () =
 
 let observes t a =
   Asn.equal a t.attacker || List.exists (Asn.equal a) t.captured
+
+let wins t a = t.feasible && observes t a

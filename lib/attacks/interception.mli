@@ -45,3 +45,11 @@ val run :
 val observes : t -> Asn.t -> bool
 (** Is this AS's traffic toward the victim visible to the attacker? The
     attacker itself always observes. *)
+
+val wins : t -> Asn.t -> bool
+(** The §3.2 interception win condition against one client AS: the
+    attack is {!feasible} (captured traffic can still be delivered, so
+    connections survive and timing analysis completes) {e and} the
+    client's traffic is visible to the attacker. The [static]
+    differential suite checks every win against
+    [Qs_analysis.Static_surface.can_intercept]. *)

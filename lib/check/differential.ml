@@ -40,6 +40,139 @@ let first_divergence a b =
 let default_dynamics =
   { Dynamics.short_config with Dynamics.duration = 12. *. 3600. }
 
+(* ---- dynamic-vs-static soundness oracle ------------------------------ *)
+
+(* The static closure bounds of [Qs_analysis.Static_surface] are claimed
+   to over-approximate everything the dynamic pipeline can do. This suite
+   makes the claim falsifiable, per seed:
+
+   - stream: every announce a collector session records must stay inside
+     the static exposure bound of its (peer, true origin) pair — audited
+     byte-by-byte over a full simulated measurement (churn, policy racing,
+     session resets and all);
+   - hijack-same-prefix: every client a same-prefix hijack wins against
+     must be statically capturable in an equal-specific race (the
+     customer-cone-protected set really is safe);
+   - hijack-more-specific: every client a sub-prefix hijack wins against
+     must be inside the attacker's static hear set;
+   - interception: every win must satisfy the static interception
+     predicate (tight capture plus a surviving return path).
+
+   Violations are impossible by the soundness argument in DESIGN.md §12;
+   a finding here is a bug in the propagation engine, the attack modules,
+   or the closure itself. *)
+let static ?(dynamics = default_dynamics) ?(seeds = [ 1; 2; 3; 4; 5 ]) size =
+  List.concat_map
+    (fun seed ->
+       let s = Scenario.build ~seed size in
+       let surface = Static_surface.create s.Scenario.indexed in
+       let outcome ~experiment problems =
+         { seed; pair = "dynamic-vs-static"; experiment;
+           ok = problems = [];
+           detail =
+             (match problems with
+              | [] -> None
+              | p :: rest ->
+                  if rest = [] then Some p
+                  else
+                    Some
+                      (Printf.sprintf "%s (and %d more)" p (List.length rest)))
+         }
+       in
+       (* 1. Update-stream containment over a full measurement. *)
+       let updates = ref [] in
+       let (_ : Measurement.t) =
+         Measurement.run ~dynamics ~observe:(fun u -> updates := u :: !updates)
+           s
+       in
+       let stream =
+         Surface_lint.check_stream surface
+           ~origin_of:(Addressing.origin s.Scenario.addressing)
+           (List.rev !updates)
+         |> List.map (render Diag.pp)
+       in
+       (* 2-4. Attack-win containment over seeded attack draws. *)
+       let rng = Scenario.rng_for s "check-static" in
+       let guards = Array.of_list (Consensus.guards s.Scenario.consensus) in
+       let ases = Array.of_list (As_graph.ases s.Scenario.graph) in
+       let same = ref [] and sub = ref [] and icept = ref [] in
+       let violation bucket fmt =
+         Printf.ksprintf (fun msg -> bucket := msg :: !bucket) fmt
+       in
+       for _ = 1 to 8 do
+         let relay = Rng.pick rng guards in
+         match Scenario.guard_announcement s relay with
+         | None -> ()
+         | Some ann ->
+             let victim = ann.Announcement.origin in
+             let attacker =
+               let rec draw () =
+                 let a = Rng.pick rng ases in
+                 if Asn.equal a victim then draw () else a
+               in
+               draw ()
+             in
+             let h =
+               Hijack.same_prefix s.Scenario.indexed ~victim:ann ~attacker ()
+             in
+             List.iter
+               (fun x ->
+                  if
+                    Hijack.wins h x
+                    && not
+                         (Static_surface.can_blackhole surface
+                            ~same_prefix:true ~adversary:attacker ~victim x)
+                  then
+                    violation same
+                      "%s wins same-prefix hijack of %s against %s outside \
+                       the static bound"
+                      (Asn.to_string attacker) (Asn.to_string victim)
+                      (Asn.to_string x))
+               h.Hijack.captured;
+             (if Prefix.length ann.Announcement.prefix < 32 then
+                let half, _ = Prefix.split ann.Announcement.prefix in
+                let h =
+                  Hijack.more_specific s.Scenario.indexed ~victim:ann
+                    ~attacker ~sub:half ()
+                in
+                List.iter
+                  (fun x ->
+                     if
+                       Hijack.wins h x
+                       && not
+                            (Static_surface.can_blackhole surface
+                               ~adversary:attacker ~victim x)
+                     then
+                       violation sub
+                         "%s wins more-specific hijack of %s against %s \
+                          outside the static hear set"
+                         (Asn.to_string attacker) (Asn.to_string victim)
+                         (Asn.to_string x))
+                  h.Hijack.captured);
+             let i =
+               Interception.run s.Scenario.indexed ~victim:ann ~attacker ()
+             in
+             List.iter
+               (fun x ->
+                  if
+                    Interception.wins i x
+                    && not
+                         (Static_surface.can_intercept surface
+                            ~adversary:attacker ~victim x)
+                  then
+                    violation icept
+                      "%s wins interception of %s against %s outside the \
+                       static feasible set"
+                      (Asn.to_string attacker) (Asn.to_string victim)
+                      (Asn.to_string x))
+               i.Interception.captured
+       done;
+       [ outcome ~experiment:"stream" stream;
+         outcome ~experiment:"hijack-same-prefix" (List.rev !same);
+         outcome ~experiment:"hijack-more-specific" (List.rev !sub);
+         outcome ~experiment:"interception" (List.rev !icept) ])
+    seeds
+
 let run ?(dynamics = default_dynamics) ?(seeds = [ 1; 2 ]) size =
   List.concat_map
     (fun seed ->

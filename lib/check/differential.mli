@@ -35,3 +35,16 @@ val run :
   outcome list
 (** Run every pair on every seed (default seeds [1; 2]) and return one
     outcome per (seed, pair, experiment). Deterministic. *)
+
+val static :
+  ?dynamics:Dynamics.config -> ?seeds:int list -> Scenario.size ->
+  outcome list
+(** The dynamic-vs-static soundness oracle (default seeds [1..5]): per
+    seed, audits that (1) every update a full simulated measurement
+    records stays inside the [Qs_analysis.Static_surface] exposure bound
+    of its (session peer, true origin) pair, and (2) every client a
+    seeded same-prefix hijack, more-specific hijack, or interception
+    wins against ([Hijack.wins] / [Interception.wins]) lies inside the
+    corresponding static feasible set. All four experiments report under
+    the pair name ["dynamic-vs-static"]; a divergence is a propagation,
+    attack, or closure bug by construction. *)

@@ -2,22 +2,52 @@ let origin_mismatch =
   { Diag.code = "QS201"; slug = "origin-mismatch";
     severity = Diag.Error;
     doc = "an announcement's origin is not the AS the address plan assigns \
-           the prefix to" }
+           the prefix to";
+    explain =
+      "The address plan is the ground truth of who legitimately originates \
+       what; the only intentional origin mismatches in this system are the \
+       ones the attack modules inject. A baseline announcement whose \
+       origin disagrees with the plan is therefore an accidental hijack — \
+       it would teach every measurement that bogus routing is normal and \
+       poison the hijack-detection baselines." }
 
 let roa_bounds =
   { Diag.code = "QS202"; slug = "roa-bounds";
     severity = Diag.Error;
-    doc = "a ROA's max_length is below its prefix length or above 32" }
+    doc = "a ROA's max_length is below its prefix length or above 32";
+    explain =
+      "A ROA authorises an origin for a prefix up to max_length bits. If \
+       max_length is shorter than the prefix itself the ROA cannot match \
+       anything (even the covered announcement is invalid), and above 32 \
+       is meaningless for IPv4 — both shapes silently disable the ROV \
+       countermeasure they were meant to configure, so the experiment \
+       would measure an undefended network while reporting a defended \
+       one." }
 
 let moas_conflict =
   { Diag.code = "QS203"; slug = "moas-conflict";
     severity = Diag.Error;
-    doc = "the same prefix is listed with two different origins" }
+    doc = "the same prefix is listed with two different origins";
+    explain =
+      "Multiple-origin-AS prefixes exist on the real Internet, but in \
+       this simulator the address plan assigns each prefix exactly one \
+       owner, and every legitimate MOAS-looking event must come from an \
+       attack module competing with that owner. Two plan-level origins \
+       for one prefix make 'who is the victim?' ambiguous, so capture \
+       accounting and ROV validation both lose their reference point." }
 
 let relay_coverage =
   { Diag.code = "QS204"; slug = "relay-coverage";
     severity = Diag.Error;
-    doc = "a relay's address is unrouted or covered by another AS's prefix" }
+    doc = "a relay's address is unrouted or covered by another AS's prefix";
+    explain =
+      "Every Tor relay must sit inside a prefix the plan assigns to the \
+       AS hosting it: an unrouted relay can never be reached (its guard \
+       is dead weight in the consensus), and a relay covered by another \
+       AS's prefix means client traffic to it would be delivered to the \
+       wrong AS even with no attacker present. Either way, interception \
+       results involving that relay measure an address-plan artefact \
+       rather than BGP." }
 
 let rules = [ origin_mismatch; roa_bounds; moas_conflict; relay_coverage ]
 

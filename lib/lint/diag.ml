@@ -20,6 +20,7 @@ type rule = {
   slug : string;
   severity : severity;
   doc : string;
+  explain : string;
 }
 
 let rule_id r = r.code ^ "-" ^ r.slug

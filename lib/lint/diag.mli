@@ -21,6 +21,10 @@ type rule = {
   slug : string;      (** human-readable slug, e.g. ["valley-violation"] *)
   severity : severity; (** severity of every finding of this rule *)
   doc : string;       (** one-line description, shown by [--list-rules] *)
+  explain : string;
+      (** one-paragraph rationale — what invariant the rule guards, why a
+          finding is a bug, and what typically causes one; shown by
+          [quicksand lint --explain CODE] *)
 }
 
 val rule_id : rule -> string

@@ -1,6 +1,6 @@
 let all_rules =
   Routing_lint.rules @ Topology_lint.rules @ Addressing_lint.rules
-  @ Scenario_lint.rules @ Obs_lint.rules
+  @ Scenario_lint.rules @ Obs_lint.rules @ Surface_lint.rules
 
 let find_rule selector =
   List.find_opt (fun r -> Diag.matches_rule r selector) all_rules
@@ -41,6 +41,9 @@ let run ?rules ?(max_prefixes = 512) ?(determinism = true) ?exec
      workspace clobbers it. [Pool.map_list] keeps sampled-prefix order,
      so the diagnostics come out in the same order at any worker count. *)
   let workspaces = Pool.per_domain Propagate.Workspace.create in
+  let surfaces =
+    Pool.per_domain (fun () -> Static_surface.create s.Scenario.indexed)
+  in
   let routing =
     sample_prefixes ~max_prefixes (Addressing.announced s.Scenario.addressing)
     |> Pool.map_list pool (fun (p, o) ->
@@ -49,7 +52,8 @@ let run ?rules ?(max_prefixes = 512) ?(determinism = true) ?exec
             ~workspace:(Pool.get workspaces)
             [ Announcement.originate o p ]
         in
-        Routing_lint.check_table g table)
+        Routing_lint.check_table g table
+        @ Surface_lint.check_table (Pool.get surfaces) g ~origin:o table)
     |> List.concat
   in
   let addressing = Addressing_lint.check s.Scenario.addressing s.Scenario.consensus in
@@ -61,5 +65,30 @@ let run ?rules ?(max_prefixes = 512) ?(determinism = true) ?exec
        else [])
   in
   let obs = Obs_lint.check (Metrics.registrations ()) in
-  let diags = routing @ topology @ addressing @ scenario @ obs in
+  (* Static-surface sweep over a deterministic evenly-spaced sample of
+     plausible monitored pairs: stub client ASes hosting no relays,
+     crossed with the guard-prefix origin ASes. Cheap (one cached closure
+     per sampled AS) and random-free, like the prefix sample above. *)
+  let surface =
+    let surf = Pool.get surfaces in
+    let evenly ~max_items l = sample_prefixes ~max_prefixes:max_items l in
+    let clients =
+      As_graph.ases g
+      |> List.filter (fun a ->
+          (As_graph.info g a).As_graph.tier = As_graph.Stub
+          && Consensus.relays_in s.Scenario.consensus a = [])
+      |> evenly ~max_items:8
+    in
+    let origins =
+      Asn.Set.elements (Tor_prefix.origin_ases s.Scenario.tor_prefixes)
+      |> evenly ~max_items:8
+    in
+    let pairs =
+      List.concat_map (fun c -> List.map (fun o -> (c, o)) origins) clients
+    in
+    Surface_lint.check_pairs surf pairs
+    @ Surface_lint.check_vantage surf ~monitors:(Scenario.monitors s) ~origins
+    @ Surface_lint.check_overlay g []
+  in
+  let diags = routing @ topology @ addressing @ scenario @ obs @ surface in
   match rules with None -> diags | Some rules -> select ~rules diags

@@ -2,7 +2,16 @@ let metric_registry_mismatch =
   { Diag.code = "QS306"; slug = "metric-registry-mismatch";
     severity = Diag.Error;
     doc = "a registry metric name is not in Qs_obs.Manifest, is declared \
-           but never registered, or was registered more than once" }
+           but never registered, or was registered more than once";
+    explain =
+      "Qs_obs.Manifest is the declared telemetry schema and the live \
+       registry is what the code actually registered; dashboards and \
+       golden tests key on the manifest, so the two must match exactly. \
+       An undeclared metric is invisible to consumers, a declared-but- \
+       never-registered one makes exports silently incomplete, and a \
+       double registration usually means two modules claimed the same \
+       name and their counts are now merged. Names under test. are \
+       exempt." }
 
 let rules = [ metric_registry_mismatch ]
 
@@ -21,6 +30,7 @@ let () =
   force Interception.run;
   force Measurement.changes_of;
   force Scenario.sessions;
+  force Static_surface.create;
   force Span.enabled
 
 let exempt name = String.length name >= 5 && String.sub name 0 5 = "test."

@@ -1,18 +1,38 @@
 let valley_violation =
   { Diag.code = "QS001"; slug = "valley-violation";
     severity = Diag.Error;
-    doc = "a RIB path violates the Gao-Rexford valley-free export condition" }
+    doc = "a RIB path violates the Gao-Rexford valley-free export condition";
+    explain =
+      "Under the Gao-Rexford model an AS exports routes learned from peers \
+       or providers only to its customers, so every selected AS path must \
+       read up* peer? down* (climb provider links, cross at most one \
+       peering link, then descend customer links). A path with a valley \
+       means the propagation engine exported a route its policy forbids, \
+       and every measurement derived from that table is suspect." }
 
 let as_path_loop =
   { Diag.code = "QS002"; slug = "as-path-loop";
     severity = Diag.Error;
-    doc = "an ASN appears twice (non-adjacently) on an AS path" }
+    doc = "an ASN appears twice (non-adjacently) on an AS path";
+    explain =
+      "BGP loop detection makes an AS reject any route whose path already \
+       carries its own number, so (prepending aside) a selected path can \
+       never visit an AS twice. A non-adjacent repetition means loop \
+       detection was bypassed somewhere in the propagation engine, which \
+       can cascade into forwarding loops and non-terminating convergence." }
 
 let next_hop_inconsistency =
   { Diag.code = "QS003"; slug = "next-hop-inconsistency";
     severity = Diag.Error;
     doc = "an AS's next hop is not adjacent, unrouted, or disagrees on the \
-           winning announcement" }
+           winning announcement";
+    explain =
+      "Forwarding must follow routing: an AS's next hop has to be a direct \
+       neighbor, hold a route itself, and have selected the same winning \
+       announcement (a route always descends from its next hop's route). \
+       Any disagreement means the data plane the simulator would walk does \
+       not match the control plane it computed, so traceroute-style \
+       analyses would cross ASes the RIB never chose." }
 
 let rules = [ valley_violation; as_path_loop; next_hop_inconsistency ]
 

@@ -2,30 +2,68 @@ let nondeterministic_build =
   { Diag.code = "QS301"; slug = "nondeterministic-build";
     severity = Diag.Error;
     doc = "two Scenario.build calls with equal seeds produced different \
-           fingerprints" }
+           fingerprints";
+    explain =
+      "Equal seeds must give bit-identical scenarios: reproducibility is \
+       the contract that makes every number in EXPERIMENTS.md re-derivable \
+       and every differential suite meaningful. If two builds from one \
+       seed fingerprint differently, some construction step consumed \
+       nondeterministic state — an unseeded RNG, hash-table iteration \
+       order, wall-clock time — and must be found before any result is \
+       trusted." }
 
 let dead_collector_peer =
   { Diag.code = "QS302"; slug = "dead-collector-peer";
     severity = Diag.Error;
-    doc = "a collector session's peer AS is not in the topology" }
+    doc = "a collector session's peer AS is not in the topology";
+    explain =
+      "A collector session records the routes its peer AS selects, so a \
+       peer that does not exist in the topology can never feed it an \
+       update: the session is a permanently silent vantage point. Every \
+       visibility number computed over the collector set would silently \
+       undercount, which is exactly the bias the paper warns about when \
+       comparing control-plane monitors." }
 
 let collector_peer_ip =
   { Diag.code = "QS303"; slug = "collector-peer-ip";
     severity = Diag.Warn;
     doc = "a collector session's peer IP is outside the peer AS's address \
-           space" }
+           space";
+    explain =
+      "Real RIS sessions are identified by the peer's source address, and \
+       downstream tooling joins updates to ASes through that address. A \
+       session sourcing from an address the plan assigns to a different \
+       AS still collects updates (hence only a warning), but any analysis \
+       that maps sessions back to ASes via addressing will attribute its \
+       feed to the wrong AS." }
 
 let update_stream_hygiene =
   { Diag.code = "QS304"; slug = "update-stream-hygiene";
     severity = Diag.Error;
     doc = "an emitted update stream left the measurement horizon or went \
-           backwards in time" }
+           backwards in time";
+    explain =
+      "Measurements are defined over a fixed horizon [0, duration], and \
+       stream consumers (churn counters, inter-arrival statistics, the \
+       path-change detector) assume timestamps are non-decreasing the way \
+       a real collector dump's are. An update outside the horizon or a \
+       timestamp regression means the dynamics engine emitted events it \
+       should have clamped or dropped, and windowed statistics would \
+       double-count or miss them." }
 
 let parallel_fingerprint_divergence =
   { Diag.code = "QS305"; slug = "parallel-fingerprint-divergence";
     severity = Diag.Error;
     doc = "Scenario.fingerprint disagrees between a jobs=1 and a jobs=2 \
-           executor pool" }
+           executor pool";
+    explain =
+      "Determinism must not depend on the worker count: the executor \
+       hands out chunks in a fixed order and merges results positionally, \
+       so the same scenario digested on one worker and on two must hash \
+       identically. A divergence means some task communicates through \
+       shared mutable state (a workspace used off-domain, an accumulator \
+       merged in completion order), which is a portability bug for every \
+       machine with a different core count." }
 
 let rules =
   [ nondeterministic_build; dead_collector_peer; collector_peer_ip;

@@ -1,0 +1,205 @@
+let exposure_bound_violation =
+  { Diag.code = "QS401"; slug = "exposure-bound-violation";
+    severity = Diag.Error;
+    doc = "a selected path or emitted update carries an AS outside the \
+           static valley-free exposure bound of its (receiver, origin) pair";
+    explain =
+      "The valley-free closure over the intact graph over-approximates \
+       every path the Gao-Rexford engine can ever select, under any churn \
+       state, failure pattern or tie-break: an AS can sit between a \
+       receiver and an origin only if it lies on some valley-free walk \
+       joining them. A dynamic path that escapes this bound is therefore \
+       a propagation bug by construction — an illegal export, a corrupted \
+       path attribute, or a closure bug — never a legitimate route. The \
+       'static' differential suite audits the same containment across \
+       whole simulated days." }
+
+let unreachable_monitored_pair =
+  { Diag.code = "QS402"; slug = "unreachable-monitored-pair";
+    severity = Diag.Warn;
+    doc = "a monitored (client, guard) pair has an empty static exposure \
+           bound";
+    explain =
+      "If no valley-free walk joins a client AS to a guard's origin AS, \
+       then no policy-compliant path between them can ever exist: the \
+       client can never build a circuit through that guard, no hijack of \
+       the pair is meaningful, and every per-pair statistic is vacuously \
+       zero. Such pairs usually indicate a topology whose transit \
+       hierarchy strands one endpoint (physical connectivity is not \
+       enough — the walk must be exportable), and they silently deflate \
+       aggregate attack-surface numbers." }
+
+let vantage_dead_zone =
+  { Diag.code = "QS403"; slug = "vantage-dead-zone";
+    severity = Diag.Warn;
+    doc = "a collector peer can statically never hear routes for one or \
+           more monitored Tor prefixes";
+    explain =
+      "A collector session only sees what its peer AS selects, and the \
+       peer can only select a route for a prefix it can hear — i.e. the \
+       peer must lie in the valley-free forward closure of the prefix's \
+       origin. A peer outside that closure is a dead vantage point for \
+       the prefix: it will record nothing about hijacks of it, however \
+       long the measurement runs, and visibility statistics that assume \
+       it could have seen the event undercount the attack. The fix is a \
+       better-placed session, not a longer measurement." }
+
+let policy_unsafe_overlay =
+  { Diag.code = "QS404"; slug = "policy-unsafe-overlay";
+    severity = Diag.Error;
+    doc = "a policy overlay forms a cycle of non-customer preference \
+           overrides (a dispute wheel QS103 cannot see)";
+    explain =
+      "Gao-Rexford stability rests on two legs: the provider DAG (QS103) \
+       and prefer-customer route selection. Communities and local-pref \
+       overlays can break the second leg without touching any link: if \
+       each AS in a ring prefers the route through its peer or provider \
+       neighbour in the ring, the ring is a dispute wheel — every AS \
+       abandons its stable route when its successor does, and BGP can \
+       oscillate forever (the classic BAD GADGET). Overrides toward \
+       customers are always safe and are ignored here; overrides between \
+       non-adjacent ASes can never match a real route and are flagged \
+       too." }
+
+let rules =
+  [ exposure_bound_violation; unreachable_monitored_pair; vantage_dead_zone;
+    policy_unsafe_overlay ]
+
+let audit_route surface ~receiver ~origin (r : Route.t) ~where ctx =
+  let src = Static_surface.closure surface receiver in
+  let dst = Static_surface.closure surface origin in
+  Route.as_set r
+  |> Asn.Set.add receiver
+  |> Asn.Set.elements
+  |> List.filter_map (fun x ->
+      if Reach.on_some_path ~src ~dst x then None
+      else
+        Some
+          (Diag.msgf exposure_bound_violation
+             ~context:
+               (("escapee", Asn.to_string x)
+                :: ("receiver", Asn.to_string receiver)
+                :: ("origin", Asn.to_string origin)
+                :: ctx)
+             "%s: %a is on the %a -> %a path but outside the static \
+              exposure bound"
+             where Asn.pp x Asn.pp receiver Asn.pp origin))
+
+let check_table surface g ~origin table =
+  As_graph.ases g
+  |> List.concat_map (fun a ->
+      match Propagate.route_at table a with
+      | None -> []
+      | Some r ->
+          audit_route surface ~receiver:a ~origin r ~where:"RIB"
+            [ ("prefix", Prefix.to_string r.Route.prefix) ])
+
+let check_stream surface ~origin_of updates =
+  updates
+  |> List.concat_map (fun (u : Update.t) ->
+      match u.Update.kind with
+      | Update.Withdraw _ -> []
+      | Update.Announce r -> (
+          match origin_of r.Route.prefix with
+          | None -> []
+          | Some origin ->
+              audit_route surface ~receiver:u.Update.session.Update.peer
+                ~origin r ~where:"update"
+                [ ("prefix", Prefix.to_string r.Route.prefix);
+                  ("time", string_of_float u.Update.time);
+                  ("session", u.Update.session.Update.collector) ]))
+
+let check_pairs surface pairs =
+  pairs
+  |> List.filter_map (fun (client, guard) ->
+      if Static_surface.pair_connected surface ~client ~guard then None
+      else
+        Some
+          (Diag.msgf unreachable_monitored_pair
+             ~context:
+               [ ("client", Asn.to_string client);
+                 ("guard", Asn.to_string guard) ]
+             "no valley-free path can ever join client %a to guard origin \
+              %a"
+             Asn.pp client Asn.pp guard))
+
+let check_vantage surface ~monitors ~origins =
+  monitors
+  |> List.filter_map (fun m ->
+      let deaf =
+        List.filter
+          (fun o -> not (Static_surface.can_hear surface ~listener:m ~origin:o))
+          origins
+      in
+      match deaf with
+      | [] -> None
+      | _ ->
+          Some
+            (Diag.msgf vantage_dead_zone
+               ~context:
+                 [ ("monitor", Asn.to_string m);
+                   ("deaf_to",
+                    String.concat " " (List.map Asn.to_string deaf));
+                   ("origins", string_of_int (List.length origins)) ]
+               "collector peer %a can never hear %d of %d monitored \
+                origins"
+               Asn.pp m (List.length deaf) (List.length origins)))
+
+let check_overlay g overlay =
+  let adjacency =
+    overlay
+    |> List.filter_map (fun (a, via) ->
+        match As_graph.relationship g a via with
+        | None -> None
+        | Some Relationship.Customer -> None (* prefer-customer still holds *)
+        | Some (Relationship.Peer | Relationship.Provider) -> Some (a, via))
+  in
+  let non_adjacent =
+    overlay
+    |> List.filter_map (fun (a, via) ->
+        match As_graph.relationship g a via with
+        | Some _ -> None
+        | None ->
+            Some
+              (Diag.msgf policy_unsafe_overlay
+                 ~context:
+                   [ ("as", Asn.to_string a); ("via", Asn.to_string via) ]
+                 "overlay steers %a via %a, but they are not adjacent"
+                 Asn.pp a Asn.pp via))
+  in
+  (* DFS with three colours over the risky-override digraph; a back-edge
+     closes a preference ring = dispute wheel (same shape as QS103's
+     payment-cycle check, one level up the policy stack). *)
+  let succ a =
+    List.filter_map
+      (fun (x, via) -> if Asn.equal x a then Some via else None)
+      adjacency
+  in
+  let state = Asn.Table.create 16 in
+  let diags = ref [] in
+  let rec visit stack a =
+    match Asn.Table.find_opt state a with
+    | Some `Done -> ()
+    | Some `Active ->
+        let rec cycle acc = function
+          | [] -> List.rev acc
+          | x :: rest ->
+              if Asn.equal x a then List.rev (x :: acc) else cycle (x :: acc) rest
+        in
+        let members = cycle [] stack @ [ a ] in
+        diags :=
+          Diag.msgf policy_unsafe_overlay
+            ~context:
+              [ ("wheel",
+                 String.concat " -> " (List.map Asn.to_string members)) ]
+            "dispute wheel: %d ASes override prefer-customer in a ring \
+             through %a"
+            (List.length members - 1) Asn.pp a
+          :: !diags
+    | None ->
+        Asn.Table.replace state a `Active;
+        List.iter (visit (a :: stack)) (succ a);
+        Asn.Table.replace state a `Done
+  in
+  List.iter (fun (a, _) -> visit [] a) adjacency;
+  non_adjacent @ List.rev !diags

@@ -1,0 +1,62 @@
+(** QS4xx: static attack-surface rules.
+
+    These rules compare the live pipeline against the valley-free
+    reachability bounds of {!Qs_analysis.Static_surface}: anything the
+    dynamic side produces that the static side proves impossible is a bug
+    by construction (QS401), and statically-dead corners of a scenario —
+    disconnected monitored pairs (QS402), deaf vantage points (QS403) —
+    mean a measurement is silently measuring nothing. QS404 closes the
+    policy-safety gap QS103 leaves: overlays that override the
+    prefer-customer rule can re-introduce dispute wheels without any
+    provider-link cycle existing. *)
+
+val exposure_bound_violation : Diag.rule (** QS401 *)
+
+val unreachable_monitored_pair : Diag.rule (** QS402 *)
+
+val vantage_dead_zone : Diag.rule (** QS403 *)
+
+val policy_unsafe_overlay : Diag.rule (** QS404 *)
+
+val rules : Diag.rule list
+
+val check_table :
+  Static_surface.t -> As_graph.t -> origin:Asn.t -> Propagate.t -> Diag.t list
+(** QS401 over a converged table: every AS on the route selected at [x]
+    for a prefix originated at [origin] must lie on some valley-free walk
+    between [x] and [origin] ({!Static_surface.exposure_bound} membership
+    for the pair). *)
+
+val check_stream :
+  Static_surface.t ->
+  origin_of:(Prefix.t -> Asn.t option) -> Update.t list -> Diag.t list
+(** QS401 over an emitted update stream: for each announce recorded on a
+    session, the peer and every AS on the carried path must lie inside
+    the static exposure bound of (peer, true origin). Prefixes [origin_of]
+    does not know are skipped. *)
+
+val check_pairs :
+  Static_surface.t -> (Asn.t * Asn.t) list -> Diag.t list
+(** QS402: each monitored [(client, guard-origin)] pair must have a
+    non-empty static exposure bound — otherwise no policy-compliant path
+    can ever join the endpoints and every measurement of the pair is
+    vacuous. *)
+
+val check_vantage :
+  Static_surface.t -> monitors:Asn.t list -> origins:Asn.t list -> Diag.t list
+(** QS403: each collector peer must be able to statically hear routes for
+    every monitored origin; a peer deaf to some origins is a vantage dead
+    zone for exactly those prefixes. One diagnostic per deaf monitor,
+    listing the origins it can never hear. *)
+
+val check_overlay :
+  As_graph.t -> (Asn.t * Asn.t) list -> Diag.t list
+(** QS404 over a policy overlay, given as directed [(a, via)] entries
+    meaning "a community/local-pref override makes [a] prefer routes
+    through neighbor [via]". Overriding toward a customer never hurts
+    (prefer-customer still holds); entries steering toward a peer or
+    provider violate it, and a cycle among such entries is a dispute
+    wheel — each AS on it yields its best route whenever its successor
+    does, so the system can oscillate forever. Also flags entries whose
+    endpoints are not adjacent (the override can never match a real
+    route). *)

@@ -1,22 +1,53 @@
 let relationship_asymmetry =
   { Diag.code = "QS101"; slug = "relationship-asymmetry";
     severity = Diag.Error;
-    doc = "the two directions of a link disagree with Relationship.invert" }
+    doc = "the two directions of a link disagree with Relationship.invert";
+    explain =
+      "A business relationship is one fact seen from two sides: if B is \
+       A's customer then A must be B's provider, and peering is symmetric. \
+       When the two directions of a stored link disagree, export policy \
+       becomes direction-dependent — one side applies customer rules while \
+       the other applies provider rules — and valley-free reasoning about \
+       the graph silently breaks. This is always a topology-construction \
+       bug." }
 
 let graph_disconnected =
   { Diag.code = "QS102"; slug = "graph-disconnected";
     severity = Diag.Error;
-    doc = "the AS graph is not a single connected component" }
+    doc = "the AS graph is not a single connected component";
+    explain =
+      "The synthetic Internet must be one connected component: the paper's \
+       measurements assume every client AS can in principle reach every \
+       guard prefix, and the topology generator is required to wire every \
+       stub into the transit hierarchy. An unreachable island makes \
+       propagation results for its prefixes vacuous and usually indicates \
+       the generator dropped links or ASes on the floor." }
 
 let provider_cycle =
   { Diag.code = "QS103"; slug = "provider-cycle";
     severity = Diag.Error;
-    doc = "the customer->provider digraph contains a cycle" }
+    doc = "the customer->provider digraph contains a cycle";
+    explain =
+      "Money flows up: the customer-to-provider digraph must be acyclic, \
+       both economically (someone in a cycle pays themselves) and \
+       technically — Gao-Rexford convergence proofs require a provider \
+       DAG, and the valley-free closure's customer-cone arguments assume \
+       it. A cycle can make the routing system oscillate forever, so it \
+       is rejected outright rather than simulated. See QS404 for the \
+       overlay-level analogue this check cannot see." }
 
 let tier_sanity =
   { Diag.code = "QS104"; slug = "tier-sanity";
     severity = Diag.Warn;
-    doc = "an AS's tier metadata contradicts its link structure" }
+    doc = "an AS's tier metadata contradicts its link structure";
+    explain =
+      "Tier metadata drives relay placement and adversary selection, so \
+       it should agree with the link structure: a Tier1 has no providers \
+       and peers with the other Tier1s, a stub has no customers, and a \
+       transit AS has both providers and customers. A contradiction does \
+       not break routing — relationships, not tiers, drive export policy \
+       — but it skews any analysis that samples ASes by tier, hence a \
+       warning rather than an error." }
 
 let rules =
   [ relationship_asymmetry; graph_disconnected; provider_cycle; tier_sanity ]

@@ -237,6 +237,19 @@ let test_differential_small () =
   check_int "8 pair checks" 8 (List.length outcomes);
   check_bool "all identical" true (Differential.all_ok outcomes)
 
+let test_static_suite_small () =
+  (* The dynamic-vs-static soundness oracle: simulated update streams and
+     attack wins must stay inside the valley-free closure bounds. *)
+  let outcomes = Differential.static ~seeds:[ 1 ] Scenario.Small in
+  List.iter
+    (fun o ->
+       if not o.Differential.ok then
+         Format.eprintf "%a@." Differential.pp_outcome o)
+    outcomes;
+  check_int "one outcome per experiment" 4 (List.length outcomes);
+  check_bool "dynamics stay inside the static bounds" true
+    (Differential.all_ok outcomes)
+
 (* ---- Fuzz ------------------------------------------------------------- *)
 
 let test_fuzz_mrt () =
@@ -359,7 +372,9 @@ let () =
            test_check_measurement_flags_tampering ]);
       ("differential",
        [ Alcotest.test_case "pairs identical on Small" `Quick
-           test_differential_small ]);
+           test_differential_small;
+         Alcotest.test_case "static bounds contain dynamics" `Quick
+           test_static_suite_small ]);
       ("fuzz",
        [ Alcotest.test_case "mrt mutation fuzz" `Quick test_fuzz_mrt;
          Alcotest.test_case "session-reset injection fuzz" `Quick

@@ -30,7 +30,7 @@ let diamond () =
 
 let some_rule =
   { Diag.code = "QS999"; slug = "test-rule"; severity = Diag.Warn;
-    doc = "only for tests" }
+    doc = "only for tests"; explain = "a throwaway rule for diag tests" }
 
 let test_diag_exit_code () =
   let w = Diag.make some_rule "a warning" in
@@ -279,6 +279,137 @@ let test_update_stream_hygiene_clean () =
   in
   check_int "QS304 silent on a clean stream" 0 (List.length diags)
 
+(* ---- Static surface analyzers (QS401-404) ---------------------------- *)
+
+let diamond_surface () =
+  let g = diamond () in
+  let ix = As_graph.Indexed.of_graph g in
+  (g, ix, Static_surface.create ix)
+
+(* The diamond's only announced prefix, originated at 11. *)
+let surface_origin_of p =
+  if Prefix.equal p (pfx "10.0.0.0/8") then Some (asn 11) else None
+
+let surface_announce ~peer path =
+  { Update.time = 1.;
+    session = { Update.collector = "rrc00"; peer };
+    kind = Update.Announce (Route.make (pfx "10.0.0.0/8") path) }
+
+let test_qs401_fires () =
+  let _, _, surface = diamond_surface () in
+  (* A route heard at 21 whose path detours through 6: 6 hangs off the far
+     downhill side, so no valley-free 21 <-> 11 walk can cross it. *)
+  let diags =
+    Surface_lint.check_stream surface ~origin_of:surface_origin_of
+      [ surface_announce ~peer:(asn 21) [ asn 6; asn 11 ] ]
+  in
+  check_bool "QS401 fires" true (fires "QS401" diags);
+  check_bool "names the escapee" true
+    (List.exists
+       (fun d ->
+          List.assoc_opt "escapee" d.Diag.context
+          = Some (Asn.to_string (asn 6)))
+       diags)
+
+let test_qs401_clean_and_skips () =
+  let _, _, surface = diamond_surface () in
+  let legit = surface_announce ~peer:(asn 21) [ asn 20; asn 10; asn 11 ] in
+  (* prefixes the origin map does not know, and withdraws, are skipped *)
+  let unknown =
+    { (surface_announce ~peer:(asn 21) [ asn 6 ]) with
+      Update.kind = Update.Announce (Route.make (pfx "192.0.2.0/24") [ asn 6 ]) }
+  in
+  let withdraw =
+    { (surface_announce ~peer:(asn 21) [ asn 11 ]) with
+      Update.kind = Update.Withdraw (pfx "10.0.0.0/8") }
+  in
+  check_int "clean stream" 0
+    (List.length
+       (Surface_lint.check_stream surface ~origin_of:surface_origin_of
+          [ legit; unknown; withdraw ]))
+
+let test_qs401_computed_table_clean () =
+  (* What the real engine selects always sits inside the bound. *)
+  let g, ix, surface = diamond_surface () in
+  let table =
+    Propagate.compute ix [ Announcement.originate (asn 11) (pfx "10.0.0.0/8") ]
+  in
+  check_int "converged table within bound" 0
+    (List.length (Surface_lint.check_table surface g ~origin:(asn 11) table))
+
+(* Two transit trees joined only through a shared customer: 1 and 2 both
+   provide for 3; 4 hangs under 1 alone, 5 under 2 alone. Any 4 <-> 5 walk
+   would have to climb back out of 3 after descending into it — a valley —
+   so the pair is physically connected but policy-unreachable. *)
+let stranded_surface () =
+  let g = As_graph.create () in
+  List.iter (fun i -> As_graph.add_as g (asn i) (stub_info "")) [ 1; 2; 3; 4; 5 ];
+  As_graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 3);
+  As_graph.add_provider_customer g ~provider:(asn 2) ~customer:(asn 3);
+  As_graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 4);
+  As_graph.add_provider_customer g ~provider:(asn 2) ~customer:(asn 5);
+  Static_surface.create (As_graph.Indexed.of_graph g)
+
+let test_qs402_fires () =
+  let surface = stranded_surface () in
+  let diags =
+    Surface_lint.check_pairs surface [ (asn 4, asn 5); (asn 4, asn 3) ]
+  in
+  check_bool "QS402 fires for the stranded pair" true (fires "QS402" diags);
+  check_int "the reachable pair is clean" 1 (List.length diags)
+
+let test_qs403_fires () =
+  let surface = stranded_surface () in
+  (* 5's forward closure is {5, 2, 3}: monitor 3 hears it, monitor 4 is
+     a dead vantage point. *)
+  let diags =
+    Surface_lint.check_vantage surface ~monitors:[ asn 4; asn 3 ]
+      ~origins:[ asn 5 ]
+  in
+  check_bool "QS403 fires for the deaf monitor" true (fires "QS403" diags);
+  check_int "only the deaf monitor" 1 (List.length diags);
+  check_bool "lists the origin it misses" true
+    (List.for_all
+       (fun d ->
+          List.assoc_opt "deaf_to" d.Diag.context
+          = Some (Asn.to_string (asn 5)))
+       diags)
+
+let test_qs404_fires () =
+  let g = diamond () in
+  (* 10 and 20 each steer selection toward the other across their peering:
+     the minimal dispute wheel. 11 -> 21 are not adjacent at all. *)
+  let diags =
+    Surface_lint.check_overlay g
+      [ (asn 10, asn 20); (asn 20, asn 10); (asn 11, asn 21) ]
+  in
+  check_bool "QS404 fires" true (fires "QS404" diags);
+  check_int "wheel + non-adjacent entry" 2 (List.length diags);
+  check_bool "severity error" true
+    (List.for_all (fun d -> d.Diag.rule.Diag.severity = Diag.Error) diags)
+
+let test_qs404_acyclic_overlay_clean () =
+  let g = diamond () in
+  (* Customer-target overrides restate prefer-customer; a risky override
+     with no ring (21 toward its provider 20) closes no wheel. *)
+  check_int "clean" 0
+    (List.length
+       (Surface_lint.check_overlay g
+          [ (asn 10, asn 11); (asn 6, asn 11); (asn 21, asn 20) ]))
+
+let test_qs4xx_registered_with_explanations () =
+  List.iter
+    (fun code ->
+       check_bool (code ^ " registered") true (Lint.find_rule code <> None))
+    [ "QS401"; "QS402"; "QS403"; "QS404" ];
+  (* every registered rule carries a substantive --explain paragraph *)
+  List.iter
+    (fun r ->
+       check_bool (r.Diag.code ^ " has an explanation") true
+         (String.length r.Diag.explain > 0
+          && not (String.equal r.Diag.explain r.Diag.doc)))
+    Lint.all_rules
+
 (* ---- Whole-scenario driver ------------------------------------------ *)
 
 let scenario = lazy (Scenario.build ~seed:1 Scenario.Small)
@@ -432,6 +563,19 @@ let () =
          Alcotest.test_case "fingerprint deterministic" `Quick
            test_fingerprint_deterministic;
          Alcotest.test_case "rule selection" `Quick test_rule_selection ]);
+      ("static surface",
+       [ Alcotest.test_case "QS401 fires on an escapee" `Quick test_qs401_fires;
+         Alcotest.test_case "QS401 clean stream and skips" `Quick
+           test_qs401_clean_and_skips;
+         Alcotest.test_case "QS401 computed table clean" `Quick
+           test_qs401_computed_table_clean;
+         Alcotest.test_case "QS402 stranded pair fires" `Quick test_qs402_fires;
+         Alcotest.test_case "QS403 deaf vantage fires" `Quick test_qs403_fires;
+         Alcotest.test_case "QS404 dispute wheel fires" `Quick test_qs404_fires;
+         Alcotest.test_case "QS404 acyclic overlay clean" `Quick
+           test_qs404_acyclic_overlay_clean;
+         Alcotest.test_case "QS4xx registered with explanations" `Quick
+           test_qs4xx_registered_with_explanations ]);
       ("executor",
        [ Alcotest.test_case "QS305 registered" `Quick test_qs305_registered;
          Alcotest.test_case "QS305 clean" `Quick test_qs305_clean;

@@ -229,6 +229,168 @@ let test_bfs_and_cone () =
   check_int "cone of 1" 2 (Paths.customer_cone_size g (asn 1));
   check_int "cone of 3" 1 (Paths.customer_cone_size g (asn 3))
 
+(* ---- Reach ----------------------------------------------------------- *)
+
+(* The valley-free checker graph again: 10 is 11's provider, 10 -- 20 peer,
+   20 is 21's provider, 6 is a second provider of 11. 6 hangs off the far
+   downhill side of any 21-rooted walk, which makes it the interesting AS
+   in every test below. *)
+let reach_graph () =
+  let g = As_graph.create () in
+  List.iter (fun i -> As_graph.add_as g (asn i) (stub_info ""))
+    [ 6; 10; 11; 20; 21 ];
+  As_graph.add_provider_customer g ~provider:(asn 10) ~customer:(asn 11);
+  As_graph.add_peering g (asn 10) (asn 20);
+  As_graph.add_provider_customer g ~provider:(asn 20) ~customer:(asn 21);
+  As_graph.add_provider_customer g ~provider:(asn 6) ~customer:(asn 11);
+  g
+
+let test_reach_closure () =
+  let t = Reach.create (As_graph.Indexed.of_graph (reach_graph ())) in
+  let c11 = Reach.compute t (asn 11) in
+  check_bool "source" true (Asn.equal (Reach.source c11) (asn 11));
+  (* an origin at 11 floods the whole graph: up to both providers, across
+     the peering, down to 21 *)
+  check_int "11 reaches everyone" 5 (Reach.reachable_count c11);
+  List.iter
+    (fun i ->
+       check_bool
+         (Printf.sprintf "uphill from 11 to %d" i)
+         (List.mem i [ 6; 10; 11 ])
+         (Reach.uphill_only c11 (asn i)))
+    [ 6; 10; 11; 20; 21 ];
+  let c21 = Reach.compute t (asn 21) in
+  (* after the peering crossing only downhill steps remain, so 6 can
+     never hear a route originated at 21 *)
+  check_bool "21 cannot reach 6" false (Reach.reaches c21 (asn 6));
+  check_int "21 reaches its side" 4 (Reach.reachable_count c21);
+  check_bool "unknown AS unreachable" false (Reach.reaches c21 (asn 999));
+  check_int "fold agrees with count" (Reach.reachable_count c21)
+    (Reach.fold (fun _ n -> n + 1) c21 0)
+
+let test_reach_exposure () =
+  let t = Reach.create (As_graph.Indexed.of_graph (reach_graph ())) in
+  let c21 = Reach.compute t (asn 21) and c11 = Reach.compute t (asn 11) in
+  let e = Reach.exposure ~src:c21 ~dst:c11 in
+  (* no valley-free 21 <-> 11 walk crosses 6 *)
+  check_bool "6 outside the bound" false (Asn.Set.mem (asn 6) e);
+  List.iter
+    (fun i ->
+       check_bool (Printf.sprintf "%d on some path" i) true
+         (Asn.Set.mem (asn i) e))
+    [ 10; 11; 20; 21 ];
+  (* walk reversal preserves valley-freedom, so exposure is symmetric *)
+  check_bool "symmetric" true
+    (Asn.Set.equal e (Reach.exposure ~src:c11 ~dst:c21));
+  check_bool "on_some_path agrees with the set" true
+    (List.for_all
+       (fun a -> Reach.on_some_path ~src:c21 ~dst:c11 a = Asn.Set.mem a e)
+       (As_graph.ases (reach_graph ())))
+
+let test_reach_scoping () =
+  let t = Reach.create (As_graph.Indexed.of_graph (reach_graph ())) in
+  (* radius 1 from 11: the origin and its two providers; radius 0: alone *)
+  check_int "radius 1" 3
+    (Reach.reachable_count (Reach.compute t ~max_radius:1 (asn 11)));
+  check_int "radius 0" 1
+    (Reach.reachable_count (Reach.compute t ~max_radius:0 (asn 11)));
+  (* first hop scoped to 10 only: 6 never hears, everyone else still does *)
+  let scoped =
+    Reach.compute t ~export_to:(Asn.Set.singleton (asn 10)) (asn 11)
+  in
+  check_bool "6 cut off by export scoping" false (Reach.reaches scoped (asn 6));
+  check_int "rest intact" 4 (Reach.reachable_count scoped);
+  (* failing the peering strands 21 with its provider *)
+  let failed a b =
+    (Asn.equal a (asn 10) && Asn.equal b (asn 20))
+    || (Asn.equal a (asn 20) && Asn.equal b (asn 10))
+  in
+  check_int "peering failure strands 21" 2
+    (Reach.reachable_count (Reach.compute t ~failed (asn 21)));
+  check_bool "negative radius rejected" true
+    (try
+       ignore (Reach.compute t ~max_radius:(-1) (asn 11));
+       false
+     with Invalid_argument _ -> true)
+
+(* Soundness law 1: removing a link never grows a closure or an exposure
+   bound — the reason intact-graph bounds stay valid under churn. *)
+let prop_reach_monotone_under_link_removal =
+  QCheck.Test.make ~name:"closure monotone under link removal" ~count:15
+    QCheck.(int_bound 1000)
+    (fun seed ->
+       let g = small_graph seed in
+       let t = Reach.create (As_graph.Indexed.of_graph g) in
+       let links = Array.of_list (As_graph.links g) in
+       let la, lb, _ = links.(seed mod Array.length links) in
+       let failed a b =
+         (Asn.equal a la && Asn.equal b lb)
+         || (Asn.equal a lb && Asn.equal b la)
+       in
+       let sources =
+         la :: lb
+         :: (As_graph.ases g
+             |> List.filteri (fun i _ -> i mod 13 = seed mod 13))
+       in
+       List.for_all
+         (fun s ->
+            let full = Reach.compute t s in
+            let cut = Reach.compute t ~failed s in
+            Reach.reachable_count cut <= Reach.reachable_count full
+            && Reach.fold
+                 (fun x ok ->
+                    ok && Reach.reaches full x
+                    && (Reach.uphill_only full x
+                        || not (Reach.uphill_only cut x)))
+                 cut true)
+         sources
+       &&
+       match sources with
+       | s1 :: s2 :: _ ->
+           let expo ?failed a b =
+             Reach.exposure
+               ~src:(Reach.compute t ?failed a)
+               ~dst:(Reach.compute t ?failed b)
+           in
+           Asn.Set.subset (expo ~failed s1 s2) (expo s1 s2)
+       | _ -> true)
+
+(* Soundness law 2: closures commute with any relabelling of the ASNs —
+   the answers depend on the shape of the graph, never on the names. *)
+let prop_reach_renumbering_invariance =
+  QCheck.Test.make ~name:"closure invariant under AS renumbering" ~count:10
+    QCheck.(pair (int_bound 1000) (int_range 1 5000))
+    (fun (seed, shift) ->
+       let g = small_graph seed in
+       let f a = asn ((Asn.to_int a * 3) + shift) in
+       let g' = As_graph.create () in
+       List.iter
+         (fun a -> As_graph.add_as g' (f a) (As_graph.info g a))
+         (As_graph.ases g);
+       List.iter
+         (fun (a, b, rel) ->
+            match rel with
+            | Relationship.Customer ->
+                As_graph.add_provider_customer g' ~provider:(f a)
+                  ~customer:(f b)
+            | Relationship.Provider ->
+                As_graph.add_provider_customer g' ~provider:(f b)
+                  ~customer:(f a)
+            | Relationship.Peer -> As_graph.add_peering g' (f a) (f b))
+         (As_graph.links g);
+       let t = Reach.create (As_graph.Indexed.of_graph g) in
+       let t' = Reach.create (As_graph.Indexed.of_graph g') in
+       As_graph.ases g
+       |> List.filteri (fun i _ -> i mod 17 = seed mod 17)
+       |> List.for_all (fun s ->
+           let c = Reach.compute t s and c' = Reach.compute t' (f s) in
+           Reach.reachable_count c = Reach.reachable_count c'
+           && List.for_all
+                (fun x ->
+                   Reach.reaches c x = Reach.reaches c' (f x)
+                   && Reach.uphill_only c x = Reach.uphill_only c' (f x))
+                (As_graph.ases g)))
+
 (* ---- Addressing ----------------------------------------------------- *)
 
 let test_addressing_coherent () =
@@ -351,6 +513,13 @@ let () =
       ("paths",
        [ Alcotest.test_case "valley-free checker" `Quick test_valley_free_checker;
          Alcotest.test_case "bfs and cone" `Quick test_bfs_and_cone ]);
+      ("reach",
+       [ Alcotest.test_case "closure membership" `Quick test_reach_closure;
+         Alcotest.test_case "exposure bound" `Quick test_reach_exposure;
+         Alcotest.test_case "scoped closures" `Quick test_reach_scoping ]
+       @ qsuite
+           [ prop_reach_monotone_under_link_removal;
+             prop_reach_renumbering_invariance ]);
       ("addressing",
        [ Alcotest.test_case "coherent" `Quick test_addressing_coherent;
          Alcotest.test_case "top blocks disjoint" `Quick

@@ -15,7 +15,12 @@
 #      isolation guarantees live. Ad-hoc domains would bypass both;
 #   4. raw timing primitives (Unix.gettimeofday, Sys.time) must not appear
 #      outside lib/obs/ — every wall-clock read goes through Qs_obs.Clock,
-#      so tests can freeze the clock and make timing fields reproducible.
+#      so tests can freeze the clock and make timing fields reproducible;
+#   5. Stdlib Random must not appear outside lib/net/ (home of the seeded
+#      SplitMix64 Qs_net.Rng) — Random.self_init is nondeterminism by
+#      definition, and even seeded Stdlib.Random draws from global state
+#      that any other caller can advance, so equal seeds would stop giving
+#      equal scenarios.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -49,6 +54,14 @@ if grep -rn --include='*.ml' --include='*.mli' \
      -e 'Unix\.gettimeofday' -e 'Sys\.time' \
      lib bin examples bench | grep -v '^lib/obs/'; then
   echo "check_mli: raw timing primitive outside lib/obs/ (use Qs_obs.Clock)" >&2
+  fail=1
+fi
+
+if grep -rn --include='*.ml' --include='*.mli' \
+     -e 'Random\.self_init' -e 'Random\.make_self_init' \
+     -e 'Random\.int\b' -e 'Random\.float\b' \
+     lib bin examples bench | grep -v '^lib/net/'; then
+  echo "check_mli: Stdlib Random outside lib/net/ (use the seeded Qs_net.Rng)" >&2
   fail=1
 fi
 

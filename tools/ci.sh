@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# The CI entry point: everything a green checkmark promises, runnable
+# verbatim on a developer's shell. Kept in lockstep with
+# .github/workflows/ci.yml, which just calls this script.
+#
+#   1. dune build       — the whole tree, warnings-as-errors;
+#   2. dune runtest     — unit/property/golden suites plus the @lint
+#                         alias (check_mli.sh hygiene gate, quicksand
+#                         lint --fail-on error, conformance smoke);
+#   3. quicksand lint --fail-on warning
+#                       — the full rule registry on the Small scenario.
+#                         QS104 (tier-sanity) is excluded: the synthetic
+#                         topology generator legitimately emits a few
+#                         customer-less transit ASes at Small scale, a
+#                         known generator artefact, and CI must fail only
+#                         on regressions;
+#   4. quicksand check --suite conform
+#                       — the streaming invariant checker over half a
+#                         simulated day;
+#   5. quicksand check --suite static
+#                       — the dynamic-vs-static soundness oracle across
+#                         5 seeds.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== quicksand lint --fail-on warning (Small, seed 1)"
+dune exec bin/quicksand.exe -- lint --scale small --seed 1 --fail-on warning \
+  --rules QS001,QS002,QS003,QS101,QS102,QS103,QS201,QS202,QS203,QS204,QS301,QS302,QS303,QS304,QS305,QS306,QS401,QS402,QS403,QS404
+
+echo "== quicksand check --suite conform (Small, seed 1, half a day)"
+dune exec bin/quicksand.exe -- check --suite conform --scale small --seed 1 \
+  --days 0.5
+
+echo "== quicksand check --suite static (Small, 5 seeds)"
+dune exec bin/quicksand.exe -- check --suite static --scale small
+
+echo "CI OK"
