@@ -280,7 +280,11 @@ let () =
            Dynamics.duration = 1. *. 86_400.;
            base_churn_rate = 2.0;
            mean_outage = 5.;
-           mean_global_outage = 5. }
+           mean_global_outage = 5.;
+           (* Delta repair off: this ablation isolates the cache over the
+              full-recompute engine (AB-delta below isolates the delta
+              engine). *)
+           delta_states = 0 }
        in
        let capacity = if !scale = "small" then 4096 else 1024 in
        (* Timed runs discard updates so the clock measures route
@@ -313,14 +317,68 @@ let () =
        let t_on, s_on = timed capacity in
        Format.printf
          "  cache off: %.2f s, %d recomputations@." t_off
-         s_off.Dynamics.recomputations;
+         s_off.Dynamics.full_recomputations;
        Format.printf
          "  cache on:  %.2f s, %d recomputations, %d hits / %d misses / %d evictions@."
-         t_on s_on.Dynamics.recomputations s_on.Dynamics.cache_hits
+         t_on s_on.Dynamics.full_recomputations s_on.Dynamics.cache_hits
          s_on.Dynamics.cache_misses s_on.Dynamics.cache_evictions;
        Format.printf "  speedup: %.2fx; streams byte-identical: %b@."
          (t_off /. Float.max t_on 1e-9)
          (String.equal (capture 0) (capture capacity)));
+
+  section "AB-delta"
+    "ablation — incremental delta repair vs full recompute (cache disabled)"
+    (fun () ->
+       (* The churn-heavy day from AB-cache, with the route cache off in
+          both arms so the clock compares the two propagation engines
+          directly: every outcome request either full-computes or
+          delta-repairs. *)
+       let cfg =
+         { Dynamics.short_config with
+           Dynamics.duration = 1. *. 86_400.;
+           base_churn_rate = 2.0;
+           mean_outage = 5.;
+           mean_global_outage = 5.;
+           route_cache_size = 0 }
+       in
+       let timed delta_states =
+         let rng = Scenario.rng_for scenario "ab-delta" in
+         let start = Clock.now () in
+         let _, stats =
+           Dynamics.run ~rng
+             { cfg with Dynamics.delta_states }
+             scenario.Scenario.world ~emit:ignore
+         in
+         (Clock.now () -. start, stats)
+       in
+       let capture delta_states =
+         let buf = Buffer.create (1 lsl 20) in
+         let ppf = Format.formatter_of_buffer buf in
+         let _ =
+           Dynamics.run ~rng:(Scenario.rng_for scenario "ab-delta")
+             { cfg with Dynamics.delta_states }
+             scenario.Scenario.world
+             ~emit:(fun u -> Format.fprintf ppf "%a@." Update.pp u)
+         in
+         Format.pp_print_flush ppf ();
+         Buffer.contents buf
+       in
+       (* Enough retained states for every origin at either scale: states
+          are keyed per origin, and an LRU smaller than the origin count
+          thrashes — every eviction turns the next repair into a full
+          rebuild, which is the ablation's off arm. *)
+       let states = 4096 in
+       let t_off, s_off = timed 0 in
+       let t_on, s_on = timed states in
+       Format.printf "  delta off: %.2f s, %d full recomputations@." t_off
+         s_off.Dynamics.full_recomputations;
+       Format.printf
+         "  delta on:  %.2f s, %d full recomputations, %d delta steps (%d stop-early links)@."
+         t_on s_on.Dynamics.full_recomputations s_on.Dynamics.delta_steps
+         s_on.Dynamics.delta_stop_early;
+       Format.printf "  speedup: %.2fx; streams byte-identical: %b@."
+         (t_off /. Float.max t_on 1e-9)
+         (String.equal (capture 0) (capture states)));
 
   section "AB-jobs" "ablation — executor pool, jobs=1 vs jobs=N (M1 Monte-Carlo)"
     (fun () ->
@@ -498,6 +556,27 @@ let () =
       As_graph.ases scenario.Scenario.graph |> Array.of_list
     in
     let next_src = ref 0 in
+    (* The delta-step kernel sits next to the closure row because the two
+       are the per-event costs of the static and dynamic pipelines: one
+       flap = one fail repair + one restore repair on a warm state,
+       rotating through the link list so the kernel is not measured on
+       one lucky subtree. *)
+    let delta_st = Propagate.Delta.create main_ix in
+    let delta_scratch = Propagate.Delta.create_scratch () in
+    let delta_origin = closure_sources.(0) in
+    let delta_ann =
+      [ Announcement.originate delta_origin (Prefix.of_string "10.9.0.0/16") ]
+    in
+    let (_ : Propagate.t * Propagate.Delta.kind) =
+      Propagate.Delta.update delta_st delta_scratch delta_ann
+    in
+    let delta_links =
+      As_graph.links scenario.Scenario.graph
+      |> List.filter (fun (a, b, _) ->
+          not (Asn.equal a delta_origin) && not (Asn.equal b delta_origin))
+      |> Array.of_list
+    in
+    let next_link = ref 0 in
     let closure_tests =
       Test.make_grouped ~name:"quicksand"
         [ Test.make ~name:(Printf.sprintf "reach-closure-%d-ases" n_main)
@@ -508,16 +587,32 @@ let () =
                    closure_sources.(!next_src mod Array.length closure_sources)
                  in
                  incr next_src;
-                 Reach.compute reach src)) ]
+                 Reach.compute reach src));
+          Test.make ~name:(Printf.sprintf "delta-step-flap-%d-ases" n_main)
+            (Staged.stage (fun () ->
+                 let a, b, _ =
+                   delta_links.(!next_link mod Array.length delta_links)
+                 in
+                 incr next_link;
+                 let failed = Link_set.of_list [ (a, b) ] in
+                 ignore
+                   (Propagate.Delta.update delta_st delta_scratch ~failed
+                      delta_ann);
+                 ignore
+                   (Propagate.Delta.update delta_st delta_scratch delta_ann))) ]
     in
     let raw = Benchmark.all cfg Instance.[ monotonic_clock ] closure_tests in
     let results = Analyze.all ols Instance.monotonic_clock raw in
-    (match
-       Hashtbl.fold (fun _ o acc -> Some o :: acc) results [] |> List.concat_map
-         (function Some o -> Analyze.OLS.estimates o |> Option.value ~default:[]
-                 | None -> [])
-     with
-     | t :: _ ->
+    let estimate name =
+      match Hashtbl.find_opt results ("quicksand/" ^ name) with
+      | Some o ->
+          (match Analyze.OLS.estimates o with
+           | Some (t :: _) -> Some t
+           | Some [] | None -> None)
+      | None -> None
+    in
+    (match estimate (Printf.sprintf "reach-closure-%d-ases" n_main) with
+     | Some t ->
          Format.printf "  %-40s %12.1f ns/run@."
            (Printf.sprintf "reach-closure-%d-ases" n_main) t;
          (* O(V+E) model: scale both nodes and links by 47k/V (links/AS
@@ -531,7 +626,12 @@ let () =
               (Float.round (2. *. float_of_int m_main /. float_of_int n_main)))
            (t47 /. 1e6)
            (t47 *. 47_000. /. 1e9)
-     | [] -> Format.printf "  (no estimate for the closure kernel)@.");
+     | None -> Format.printf "  (no estimate for the closure kernel)@.");
+    (match estimate (Printf.sprintf "delta-step-flap-%d-ases" n_main) with
+     | Some t ->
+         Format.printf "  %-40s %12.1f ns/run@."
+           (Printf.sprintf "delta-step-flap-%d-ases" n_main) t
+     | None -> Format.printf "  (no estimate for the delta-step kernel)@.");
 
     (* The month-dynamics kernels each run a whole simulation (~0.1–0.5 s),
        so they get their own, longer quota — the 0.5 s above would fit a
@@ -549,7 +649,11 @@ let () =
         base_churn_rate = 0.5;
         mean_outage = 5.;
         mean_global_outage = 5.;
-        route_cache_size = cache }
+        route_cache_size = cache;
+        (* Cached/uncached isolate the memoization layer over the
+           full-recompute engine; the -delta row below swaps in the
+           incremental repair engine with no cache. *)
+        delta_states = 0 }
     in
     let dyn_tests =
       Test.make_grouped ~name:"quicksand"
@@ -560,6 +664,11 @@ let () =
           Test.make ~name:"F3L-dynamics-uncached"
             (Staged.stage (fun () ->
                  Dynamics.run ~rng:(Rng.of_int 11) (dyn_cfg 0)
+                   small.Scenario.world ~emit:ignore));
+          Test.make ~name:"F3L-dynamics-delta"
+            (Staged.stage (fun () ->
+                 Dynamics.run ~rng:(Rng.of_int 11)
+                   { (dyn_cfg 0) with Dynamics.delta_states = 4096 }
                    small.Scenario.world ~emit:ignore)) ]
     in
     let dyn_cfg_bench =
@@ -577,12 +686,18 @@ let () =
     in
     let cached = estimate "quicksand/F3L-dynamics-cached" in
     let uncached = estimate "quicksand/F3L-dynamics-uncached" in
+    let delta = estimate "quicksand/F3L-dynamics-delta" in
     (match (cached, uncached) with
      | Some c, Some u ->
          Format.printf "  %-40s %12.1f ns/run@." "F3L-dynamics-cached" c;
          Format.printf "  %-40s %12.1f ns/run@." "F3L-dynamics-uncached" u;
          Format.printf "  cache speedup: %.2fx@." (u /. Float.max c 1.)
      | _ -> Format.printf "  (no estimate for the dynamics kernels)@.");
+    (match (delta, uncached) with
+     | Some d, Some u ->
+         Format.printf "  %-40s %12.1f ns/run@." "F3L-dynamics-delta" d;
+         Format.printf "  delta speedup: %.2fx@." (u /. Float.max d 1.)
+     | _ -> Format.printf "  (no estimate for the delta dynamics kernel)@.");
 
     (* Scheduling overhead of Pool.map on tiny tasks: mapping 8192 trivial
        items stresses chunk bookkeeping, not the work itself. chunk=1 is

@@ -705,19 +705,34 @@ let check_cmd =
       Report.differential ~json fmt outcomes;
       if not (Differential.all_ok outcomes) then failed := true
     in
+    let run_delta () =
+      let seeds = List.init (if seeds = 0 then 5 else seeds) (fun i -> i + 1) in
+      if not json then
+        Format.printf
+          "delta: %d seeds, incremental repair vs full recompute (streams, \
+           final tables, cache layering, jobs)@."
+          (List.length seeds);
+      let outcomes = Differential.delta ~seeds scale in
+      Report.differential ~json fmt outcomes;
+      if not (Differential.all_ok outcomes) then failed := true
+    in
     with_obs obs (fun () ->
         match suite with
         | `Conform -> run_conform ()
         | `Diff -> run_diff ()
         | `Fuzz -> run_fuzz ()
         | `Static -> run_static ()
-        | `All -> run_conform (); run_diff (); run_fuzz (); run_static ());
+        | `Delta -> run_delta ()
+        | `All ->
+            run_conform (); run_diff (); run_fuzz (); run_static ();
+            run_delta ());
     if !failed then Stdlib.exit 1
   in
   let suite =
     Arg.(value
          & opt (enum [ ("conform", `Conform); ("diff", `Diff);
-                       ("fuzz", `Fuzz); ("static", `Static); ("all", `All) ])
+                       ("fuzz", `Fuzz); ("static", `Static);
+                       ("delta", `Delta); ("all", `All) ])
              `All
          & info [ "suite" ] ~docv:"SUITE"
              ~doc:"Which harness to run: $(b,conform) (streaming invariant \
@@ -725,14 +740,16 @@ let check_cmd =
                    (configuration pairs that must not change results), \
                    $(b,fuzz) (MRT codec mutation + session-reset \
                    injection), $(b,static) (dynamic paths and attack wins \
-                   audited against the static valley-free bounds), or \
-                   $(b,all).")
+                   audited against the static valley-free bounds), \
+                   $(b,delta) (incremental delta repair vs full recompute: \
+                   byte-identical streams and final tables), or $(b,all).")
   in
   let seeds =
     Arg.(value & opt int 0 & info [ "seeds" ] ~docv:"N"
            ~doc:"Seed count for $(b,diff) (default 2), $(b,fuzz) \
-                 (default 200) and $(b,static) (default 5). Ignored by \
-                 $(b,conform), which uses $(b,--seed).")
+                 (default 200), $(b,static) (default 5) and $(b,delta) \
+                 (default 5). Ignored by $(b,conform), which uses \
+                 $(b,--seed).")
   in
   Cmd.v
     (Cmd.info "check"

@@ -18,6 +18,7 @@ type config = {
   pathological_prefixes : int;
   pathological_multiplier : float;
   route_cache_size : int;
+  delta_states : int;
 }
 
 let day = 86_400.
@@ -41,7 +42,8 @@ let default_config =
     max_affected_per_event = 40;
     pathological_prefixes = 2;
     pathological_multiplier = 2600.;
-    route_cache_size = 512 }
+    route_cache_size = 512;
+    delta_states = 512 }
 
 let short_config =
   { default_config with
@@ -71,7 +73,18 @@ let m_churn = Metrics.counter ~help:"churn events applied" "dynamics.churn_event
 let m_updates = Metrics.counter ~help:"updates emitted" "dynamics.updates_emitted"
 let m_ann = Metrics.counter ~help:"announcements emitted" "dynamics.announces"
 let m_wd = Metrics.counter ~help:"withdrawals emitted" "dynamics.withdraws"
-let m_recomp = Metrics.counter ~help:"route recomputations" "dynamics.recomputations"
+let m_full_recomp =
+  Metrics.counter ~help:"full route recomputations" "dynamics.full_recomputations"
+let m_delta_steps =
+  Metrics.counter ~help:"incremental delta repairs" "dynamics.delta_steps"
+let m_delta_stop =
+  Metrics.counter ~help:"delta link repairs proven no-ops"
+    "dynamics.delta_stop_early"
+let m_delta_frontier =
+  Metrics.histogram ~help:"ASes touched per delta step"
+    ~buckets:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.;
+                2048.; 4096. |]
+    "dynamics.delta_frontier"
 let m_dropped = Metrics.counter ~help:"updates dropped past horizon" "dynamics.post_horizon_dropped"
 
 type stats = {
@@ -81,7 +94,9 @@ type stats = {
   updates_emitted : int;
   announces : int;
   withdraws : int;
-  recomputations : int;
+  full_recomputations : int;
+  delta_steps : int;
+  delta_stop_early : int;
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
@@ -115,6 +130,26 @@ type state = {
   mutable failed : Link_set.t;
   workspace : Propagate.Workspace.t;
   cache : Route_cache.t option;
+  delta_scratch : Propagate.Delta.scratch;
+  peer_ids : int array;    (* session index -> peer's graph id *)
+  vis_threshold : int array;
+      (* session index -> minimum Propagate class code its feed shows *)
+  origin_key : int array;  (* prefix index -> origin's graph id *)
+  ann_cache : Announcement.t list array;
+      (* prefix index -> its current singleton announcement list;
+         rebuilt lazily when the prepend moves *)
+  seen_version : int array;
+      (* prefix index -> {!Propagate.Delta.version} of the state
+         [current.(p)] was last derived from; -1 = unknown. When a
+         recompute lands on the same version, no session view can have
+         changed and the whole per-session scan is skipped. *)
+  delta : (int, Propagate.Delta.state * int ref) Hashtbl.t;
+      (* origin graph id -> (state, last-use tick) — a bounded LRU.
+         Keyed per {e origin}, not per prefix: the routing arrays never
+         depend on the prefix, so all prefixes of one origin share a
+         single retained fixed point ({!Propagate.Delta.update} swaps
+         the announcement metadata in O(1)). *)
+  mutable delta_tick : int;
   events : event Pqueue.t;
   outq : Update.t Pqueue.t;
   emit : Update.t -> unit;
@@ -122,7 +157,9 @@ type state = {
   mutable n_updates : int;
   mutable n_ann : int;
   mutable n_wd : int;
-  mutable n_recomp : int;
+  mutable n_full_recomp : int;
+  mutable n_delta_steps : int;
+  mutable n_delta_stop : int;
   mutable n_dropped : int;
   mutable globals : (Asn.t * Asn.t * float * float) list;
   mutable resets : (Update.session_id * float * float) list;
@@ -144,33 +181,102 @@ let schedule_update st time session kind =
 
 (* ---- route computation -------------------------------------------- *)
 
+(* The singleton announcement list for [p]'s current configuration,
+   rebuilt only when [p]'s prepend moved since the last query: every
+   event queries it once per affected prefix, and the steady state is
+   an unchanged prepend. *)
 let announcement st p =
-  Announcement.originate st.origins.(p) st.pfxs.(p)
-  |> Announcement.with_prepend st.prepend.(p)
+  match st.ann_cache.(p) with
+  | [ a ] when a.Announcement.prepend = st.prepend.(p) -> st.ann_cache.(p)
+  | _ ->
+      let anns =
+        [ Announcement.originate st.origins.(p) st.pfxs.(p)
+          |> Announcement.with_prepend st.prepend.(p) ]
+      in
+      st.ann_cache.(p) <- anns;
+      anns
 
-(* The routing outcome for prefix [p] in the current (prepend, failed)
-   configuration. With the cache enabled, Revert / Global_restore /
-   prepend-toggle events land back on a previously-seen configuration and
-   reuse its outcome; misses compute {e without} the workspace, because a
-   cached outcome must own its arrays ({!Propagate.Workspace} scratch is
-   invalidated by the next compute). [n_recomp] counts actual propagation
-   runs, so cache hits don't inflate it. *)
-let outcome_for st p =
-  let anns = [ announcement st p ] in
-  match st.cache with
+(* Compute the outcome for prefix [p] in the current (prepend, failed)
+   configuration, preferring the incremental engine: each {e origin}
+   keeps a {!Propagate.Delta.state} (bounded LRU of [cfg.delta_states])
+   whose update diffs the configuration against the last one it applied
+   and repairs only the dirty region — O(affected) instead of O(world),
+   and O(1) when the flapped link carries no selected route. Because
+   routing is prefix-agnostic, one state serves every prefix of an
+   origin: an event that touches dozens of co-originated prefixes pays
+   for one repair, and each further prefix is an O(1) metadata swap.
+   Full computes remain the cold-start / eviction / unsupported-shape
+   fallback and run through the reusable workspace. [n_full_recomp]
+   counts full propagation runs (wherever they happen), [n_delta_steps]
+   incremental repairs. *)
+let delta_state_for st p =
+  st.delta_tick <- st.delta_tick + 1;
+  match Hashtbl.find_opt st.delta st.origin_key.(p) with
+  | Some (ds, last) ->
+      last := st.delta_tick;
+      ds
   | None ->
-      st.n_recomp <- st.n_recomp + 1;
-      Propagate.compute st.w.indexed ~workspace:st.workspace
-        ~failed:st.failed anns
+      if Hashtbl.length st.delta >= st.cfg.delta_states then begin
+        (* Evict the least-recently-used state. *)
+        let victim =
+          Hashtbl.fold
+            (fun q (_, last) acc ->
+               match acc with
+               | Some (_, best) when best <= !last -> acc
+               | _ -> Some (q, !last))
+            st.delta None
+        in
+        match victim with
+        | Some (q, _) -> Hashtbl.remove st.delta q
+        | None -> ()
+      end;
+      let ds = Propagate.Delta.create st.w.indexed in
+      Hashtbl.add st.delta st.origin_key.(p) (ds, ref st.delta_tick);
+      ds
+
+let compute_now st p anns =
+  if st.cfg.delta_states > 0 && Propagate.Delta.supported anns then begin
+    let ds = delta_state_for st p in
+    let outcome, kind =
+      Propagate.Delta.update ds st.delta_scratch ~failed:st.failed anns
+    in
+    (match kind with
+     | Propagate.Delta.Full_rebuild ->
+         st.n_full_recomp <- st.n_full_recomp + 1
+     | Propagate.Delta.Steps { frontier; stop_early; _ } ->
+         st.n_delta_steps <- st.n_delta_steps + 1;
+         st.n_delta_stop <- st.n_delta_stop + stop_early;
+         Metrics.observe m_delta_frontier (float_of_int frontier));
+    (outcome, Propagate.Delta.version ds)
+  end
+  else begin
+    st.n_full_recomp <- st.n_full_recomp + 1;
+    ( Propagate.compute st.w.indexed ~workspace:st.workspace ~failed:st.failed
+        anns,
+      -1 )
+  end
+
+(* The routing outcome for prefix [p]. With the cache enabled, Revert /
+   Global_restore / prepend-toggle events land back on a previously-seen
+   configuration and reuse its outcome. Misses run through the shared
+   scratch (workspace or delta state) and only the {e cached} outcome
+   owns fresh arrays ({!Propagate.copy}) — scratch-backed views are
+   invalidated by the next compute and must never enter the cache. *)
+let outcome_for st p =
+  let anns = announcement st p in
+  match st.cache with
+  | None -> compute_now st p anns
   | Some cache ->
       let k = Route_cache.key ~anns ~failed:st.failed in
       (match Route_cache.find cache k with
-       | Some outcome -> outcome
+       (* A hit serves an outcome for the {e current} configuration, but
+          the delta state may sit at an older one — its version says
+          nothing about this outcome, so report none. *)
+       | Some outcome -> (outcome, -1)
        | None ->
-           st.n_recomp <- st.n_recomp + 1;
-           let outcome = Propagate.compute st.w.indexed ~failed:st.failed anns in
-           Route_cache.add cache k outcome;
-           outcome)
+           let ((outcome, _) as r) = compute_now st p anns in
+           Route_cache.add cache k (Propagate.copy outcome);
+           r)
 
 let visible_route outcome (session : Collector.session) =
   let peer = session.Collector.id.Update.peer in
@@ -184,18 +290,35 @@ let visible_route outcome (session : Collector.session) =
 let recompute st now affected =
   List.iter
     (fun p ->
-       let outcome = outcome_for st p in
+       let outcome, ver = outcome_for st p in
+       (* If the delta state's version is the one [current.(p)] was
+          derived from, the repair changed nothing any session can see:
+          skip the per-session scan outright (no route is compared, no
+          RNG is drawn — exactly what an all-unchanged scan would do). *)
+       if ver < 0 || st.seen_version.(p) <> ver then begin
+       let any_changed = ref false in
        Array.iteri
-         (fun s_idx session ->
-            let next = visible_route outcome session in
+         (fun s_idx (session : Collector.session) ->
+            let peer_id = st.peer_ids.(s_idx) in
+            let vis =
+              Propagate.class_code_at_id outcome peer_id
+              >= st.vis_threshold.(s_idx)
+            in
             let old = st.current.(p).(s_idx) in
+            (* Decide "changed" without materializing the new route: the
+               steady state is an unchanged session, and building a Route
+               per (prefix, session) per event dominates the loop. *)
             let changed =
-              match (old, next) with
-              | None, None -> false
-              | Some a, Some b -> not (Route.equal a b)
-              | None, Some _ | Some _, None -> true
+              match old with
+              | None -> vis
+              | Some r ->
+                  not (vis && Propagate.route_matches_id outcome peer_id r)
             in
             if changed then begin
+              any_changed := true;
+              let next =
+                if vis then Propagate.route_at_id outcome peer_id else None
+              in
               let delay = 2. +. Rng.float st.rng st.cfg.convergence_delay_max in
               let id = session.Collector.id in
               (match next with
@@ -235,7 +358,13 @@ let recompute st now affected =
               st.previous.(p).(s_idx) <- old;
               st.current.(p).(s_idx) <- next
             end)
-         st.sessions)
+         st.sessions;
+       if ver >= 0 then st.seen_version.(p) <- ver
+       else if !any_changed then
+         (* A versionless outcome (cache hit, full compute) moved
+            [current.(p)] away from whatever version last derived it. *)
+         st.seen_version.(p) <- -1
+       end)
     affected
 
 (* ---- event handlers ------------------------------------------------ *)
@@ -453,10 +582,31 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
         (if cfg.route_cache_size > 0 then
            Some (Route_cache.create ~capacity:cfg.route_cache_size)
          else None);
+      delta_scratch = Propagate.Delta.create_scratch ();
+      peer_ids =
+        Array.map
+          (fun (s : Collector.session) ->
+             As_graph.Indexed.id_of_asn w.indexed s.Collector.id.Update.peer)
+          sessions;
+      vis_threshold =
+        Array.map
+          (fun (s : Collector.session) ->
+             match s.Collector.feed with
+             | Collector.Full -> 0
+             | Collector.Customer_and_peer -> 1
+             | Collector.Customer_only -> 2)
+          sessions;
+      origin_key =
+        Array.map (As_graph.Indexed.id_of_asn w.indexed) origins;
+      ann_cache = Array.make n_pfx [];
+      seen_version = Array.make n_pfx (-1);
+      delta = Hashtbl.create (max 16 (min cfg.delta_states 1024));
+      delta_tick = 0;
       events = Pqueue.create ();
       outq = Pqueue.create ();
       emit;
-      n_churn = 0; n_updates = 0; n_ann = 0; n_wd = 0; n_recomp = 0;
+      n_churn = 0; n_updates = 0; n_ann = 0; n_wd = 0;
+      n_full_recomp = 0; n_delta_steps = 0; n_delta_stop = 0;
       n_dropped = 0;
       globals = []; resets = [] }
   in
@@ -466,7 +616,8 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
     (* Routed through [outcome_for] so the cache is seeded with every
        prefix's baseline (no failures, no prepend) configuration — the one
        each Revert eventually returns to. *)
-    let outcome = outcome_for st p in
+    let outcome, ver = outcome_for st p in
+    st.seen_version.(p) <- ver;
     Array.iteri
       (fun s_idx session ->
          match visible_route outcome session with
@@ -544,7 +695,9 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
   Metrics.add m_updates st.n_updates;
   Metrics.add m_ann st.n_ann;
   Metrics.add m_wd st.n_wd;
-  Metrics.add m_recomp st.n_recomp;
+  Metrics.add m_full_recomp st.n_full_recomp;
+  Metrics.add m_delta_steps st.n_delta_steps;
+  Metrics.add m_delta_stop st.n_delta_stop;
   Metrics.add m_dropped st.n_dropped;
   ( !initial,
     { churn_events = st.n_churn;
@@ -553,7 +706,9 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
       updates_emitted = st.n_updates;
       announces = st.n_ann;
       withdraws = st.n_wd;
-      recomputations = st.n_recomp;
+      full_recomputations = st.n_full_recomp;
+      delta_steps = st.n_delta_steps;
+      delta_stop_early = st.n_delta_stop;
       cache_hits = cache_stats.Route_cache.hits;
       cache_misses = cache_stats.Route_cache.misses;
       cache_evictions = cache_stats.Route_cache.evictions;

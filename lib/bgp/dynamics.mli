@@ -53,6 +53,15 @@ type config = {
                                      cache only avoids recomputing
                                      propagation outcomes already seen
                                      (default: 512). *)
+  delta_states : int;            (** LRU capacity of per-prefix
+                                     {!Propagate.Delta} states; [<= 0]
+                                     disables the incremental engine and
+                                     every compute runs full. The stream is
+                                     byte-identical either way — delta
+                                     repair reaches the same unique fixed
+                                     point, it just does O(affected) work
+                                     ([check --suite delta] enforces this)
+                                     (default: 512). *)
 }
 
 val default_config : config
@@ -83,9 +92,19 @@ type stats = {
   updates_emitted : int;
   announces : int;
   withdraws : int;
-  recomputations : int;
-      (** actual propagation runs (cache misses plus every compute when the
-          cache is off); [cache_hits + recomputations] = outcome requests *)
+  full_recomputations : int;
+      (** full propagation runs: delta cold starts / evictions /
+          unsupported shapes, plus every compute when the delta engine is
+          off. Delta steps are deliberately {e not} counted here — AB
+          tables comparing engines would otherwise lie.
+          [cache_hits + full_recomputations + delta_steps] = outcome
+          requests *)
+  delta_steps : int;
+      (** outcome requests served by incremental {!Propagate.Delta}
+          repair instead of a full recompute *)
+  delta_stop_early : int;
+      (** link repairs inside those steps proven no-ops in O(1) (the
+          flapped link carried no selected route) *)
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;

@@ -315,18 +315,48 @@ let rec exported_path t i =
   if t.next.(i) = -1 then t.anns.(t.src.(i)).claimed_path
   else As_graph.Indexed.asn_of_id t.graph i :: exported_path t t.next.(i)
 
+let route_at_id t i =
+  if t.cls.(i) >= 0 then
+    let communities = t.anns.(t.src.(i)).spec.Announcement.communities in
+    Some (Route.make ~communities t.pfx (exported_path t i))
+  else None
+
 let route_at t a =
   match id_opt t a with
-  | Some i when t.cls.(i) >= 0 ->
-      let communities = t.anns.(t.src.(i)).spec.Announcement.communities in
-      Some (Route.make ~communities t.pfx (exported_path t i))
-  | Some _ | None -> None
+  | Some i -> route_at_id t i
+  | None -> None
 
 let next_hop t a =
   match id_opt t a with
   | Some i when t.cls.(i) >= 0 && t.next.(i) <> -1 ->
       Some (As_graph.Indexed.asn_of_id t.graph t.next.(i))
   | Some _ | None -> None
+
+(* Allocation-free [route_at t a = Some r]: walks the next-hop chain
+   comparing hops against [r]'s stored path instead of materializing a
+   fresh list and Route. The dynamics simulator calls this once per
+   (prefix, session) per event — almost always on an unchanged route. *)
+let route_matches_id t i (r : Route.t) =
+  t.cls.(i) >= 0
+  && Prefix.equal t.pfx r.Route.prefix
+  && t.anns.(t.src.(i)).spec.Announcement.communities = r.Route.communities
+  &&
+  let rec walk i (path : Asn.t list) =
+    if t.next.(i) = -1 then
+      List.equal Asn.equal t.anns.(t.src.(i)).claimed_path path
+    else
+      match path with
+      | [] -> false
+      | hop :: rest ->
+          Asn.equal (As_graph.Indexed.asn_of_id t.graph i) hop
+          && walk t.next.(i) rest
+  in
+  walk i r.Route.as_path
+
+let route_matches t a r =
+  match id_opt t a with
+  | Some i -> route_matches_id t i r
+  | None -> false
 
 let forwarding_path t a =
   match id_opt t a with
@@ -338,31 +368,54 @@ let forwarding_path t a =
       Some (walk i [])
   | Some _ | None -> None
 
+let class_code_at_id t i = t.cls.(i)
+
+let route_class_at_id t i =
+  if t.cls.(i) >= 0 then
+    Some
+      (if t.cls.(i) = cls_origin then `Origin
+       else if t.cls.(i) = cls_customer then `Customer
+       else if t.cls.(i) = cls_peer then `Peer
+       else `Provider)
+  else None
+
 let route_class_at t a =
   match id_opt t a with
-  | Some i when t.cls.(i) >= 0 ->
-      Some
-        (if t.cls.(i) = cls_origin then `Origin
-         else if t.cls.(i) = cls_customer then `Customer
-         else if t.cls.(i) = cls_peer then `Peer
-         else `Provider)
-  | Some _ | None -> None
+  | Some i -> route_class_at_id t i
+  | None -> None
 
 let winning_announcement t a =
   match id_opt t a with
   | Some i when t.cls.(i) >= 0 -> Some t.src.(i)
   | Some _ | None -> None
 
+(* [t.cls] may be a workspace array longer than the graph (the workspace
+   grows to the largest graph it has served), so whole-table scans must
+   bound themselves by the graph size, not the array length. *)
 let captured t k =
   let out = ref [] in
-  for i = Array.length t.cls - 1 downto 0 do
+  for i = As_graph.Indexed.n t.graph - 1 downto 0 do
     if t.cls.(i) >= 0 && t.src.(i) = k then
       out := As_graph.Indexed.asn_of_id t.graph i :: !out
   done;
   !out
 
 let routed_count t =
-  Array.fold_left (fun acc c -> if c >= 0 then acc + 1 else acc) 0 t.cls
+  let n = As_graph.Indexed.n t.graph in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if t.cls.(i) >= 0 then incr acc
+  done;
+  !acc
+
+let copy t =
+  let n = As_graph.Indexed.n t.graph in
+  { t with
+    cls = Array.sub t.cls 0 n;
+    len = Array.sub t.len 0 n;
+    next = Array.sub t.next 0 n;
+    src = Array.sub t.src 0 n;
+    depth = Array.sub t.depth 0 n }
 
 let candidates_at t a =
   match id_opt t a with
@@ -396,3 +449,567 @@ let candidates_at t a =
           else if l1 <> l2 then Int.compare l1 l2
           else List.compare Asn.compare p1 p2)
       |> List.map (fun (_, _, path) -> Route.make t.pfx path)
+
+(* ---- Incremental delta engine --------------------------------------- *)
+
+(* Correctness rests on the Gao-Rexford safety property: under
+   customer>peer>provider preference and valley-free export the routing
+   system has a {e unique} stable assignment (the customer layer is the
+   shortest-path fixed point over the acyclic customer->provider digraph,
+   the peer layer is a function of it, the provider layer a Dijkstra fixed
+   point given both). Any repair that ends in a feasible, stable
+   assignment therefore lands on the very same arrays the full compute
+   produces.
+
+   A {b failed} link only removes candidates, so nodes whose selected
+   next-chain does not cross it keep their exact routes (the preference
+   order is total, so every alternative they saw before strictly lost and
+   still does). Only the endpoint routing across it must re-select, and
+   its change (if any) ripples outward through local re-selection. A
+   {b restored} link only adds candidates: the current assignment is still
+   feasible, and the only new offers cross the restored edge, so an O(1)
+   check per endpoint decides whether anything can change (stop-early). A
+   {b prepend} change on the single announcement shifts every candidate's
+   length uniformly, so decisions are invariant and the repair is a plain
+   [len] shift. *)
+module Delta = struct
+  type scratch = {
+    ws : Workspace.t;               (* for cold starts / full rebuilds *)
+    mutable mark : int array;       (* epoch-stamped clean/dirty memo *)
+    mutable epoch : int;
+    mutable on_list : bool array;
+    mutable queue : int array;      (* ring buffer, capacity n + 1 *)
+  }
+
+  let create_scratch () =
+    { ws = Workspace.create ();
+      mark = [||]; epoch = 1; on_list = [||]; queue = [||] }
+
+  let scratch_ready s n =
+    if Array.length s.mark < n then begin
+      s.mark <- Array.make n 0;
+      s.epoch <- 1;
+      s.on_list <- Array.make n false;
+      s.queue <- Array.make (n + 1) 0
+    end
+
+  type state = {
+    graph : As_graph.Indexed.t;
+    cls : int array;                (* owned, length n *)
+    len : int array;
+    next : int array;
+    src : int array;
+    depth : int array;
+    mutable ann : Announcement.t option;  (* last applied; None = cold *)
+    mutable infos : ann_info array;
+    mutable failed : Link_set.t;
+    mutable failed_ids : (int * int) list;
+        (* in-graph links of [failed] as normalized (min id, max id)
+           pairs — the wave's membership test, int compares on a
+           near-always-tiny list instead of a Map probe per candidate *)
+    mutable origin_id : int;
+    mutable version : int;
+        (* bumped whenever an update changes anything a reader could
+           observe (any record, every length, route communities); two
+           reads of the same prefix at the same version are guaranteed
+           identical, which lets callers skip re-deriving per-session
+           views entirely *)
+  }
+
+  type kind =
+    | Full_rebuild
+    | Steps of { links_applied : int; frontier : int; stop_early : int }
+
+  (* Global across states so an evicted-and-recreated state can never
+     echo a version number a caller remembers from its predecessor. *)
+  let version_counter = ref 0
+
+  let fresh_version () =
+    incr version_counter;
+    !version_counter
+
+  let create graph =
+    let n = As_graph.Indexed.n graph in
+    { graph;
+      cls = Array.make n (-1); len = Array.make n 0;
+      next = Array.make n (-1); src = Array.make n (-1);
+      depth = Array.make n 0;
+      ann = None; infos = [||]; failed = Link_set.empty; failed_ids = [];
+      origin_id = -1; version = fresh_version () }
+
+  let version st = st.version
+
+  (* The delta repairs are only sound for the plain single-announcement
+     shape ([outcome_for] in the dynamics simulator emits exactly this):
+     no forged suffix (claimed set is the origin alone, so loop detection
+     is [v <> origin]), no export scoping, no radius cap, no ROV. *)
+  let supported_ann (a : Announcement.t) =
+    a.Announcement.fake_suffix = []
+    && a.Announcement.export_to = None
+    && a.Announcement.max_radius = None
+
+  let supported = function [ a ] -> supported_ann a | _ -> false
+
+  let ann_info_no_rov (spec : Announcement.t) =
+    let claimed_path = Announcement.announced_path spec in
+    { spec; claimed_path;
+      claimed_set = Asn.Set.of_list claimed_path;
+      init_len = List.length claimed_path;
+      rpki_invalid = false }
+
+  let make_t st =
+    { graph = st.graph;
+      pfx = st.infos.(0).spec.Announcement.prefix;
+      anns = st.infos;
+      cls = st.cls; len = st.len; next = st.next; src = st.src;
+      depth = st.depth;
+      failed = st.failed; rov_deployers = Asn.Set.empty }
+
+  let rebuild st scratch ~failed anns =
+    let o = compute st.graph ~workspace:scratch.ws ~failed anns in
+    let n = As_graph.Indexed.n st.graph in
+    Array.blit o.cls 0 st.cls 0 n;
+    Array.blit o.len 0 st.len 0 n;
+    Array.blit o.next 0 st.next 0 n;
+    Array.blit o.src 0 st.src 0 n;
+    Array.blit o.depth 0 st.depth 0 n;
+    st.infos <- o.anns;
+    st.failed <- failed;
+    st.failed_ids <-
+      List.filter_map
+        (fun (a, b) ->
+           match
+             ( As_graph.Indexed.id_of_asn st.graph a,
+               As_graph.Indexed.id_of_asn st.graph b )
+           with
+           | ia, ib -> Some (if ia < ib then (ia, ib) else (ib, ia))
+           | exception Not_found -> None)
+        (Link_set.elements failed);
+    st.version <- fresh_version ();
+    (match anns with
+     | [ a ] when supported_ann a ->
+         st.ann <- Some a;
+         st.origin_id <-
+           As_graph.Indexed.id_of_asn st.graph a.Announcement.origin
+     | _ ->
+         (* Unsupported shape: never diff against it. *)
+         st.ann <- None);
+    make_t st
+
+  (* A repair that refuses to converge within its pop budget bails out to
+     a full rebuild (the budget is a safety valve; Gao-Rexford-compliant
+     topologies converge long before it). *)
+  exception Bail
+
+  (* Does the selection chain starting at [w] pass through [x]? Stored
+     chains are acyclic at every moment (each accept below re-checks
+     this), so the walk ends at the origin; the step bound is a safety
+     net. A candidate whose chain crosses the evaluating node can never
+     beat that node's stored route under the Gao-Rexford order once
+     chains are accept-consistent, so rejecting them loses nothing at
+     the fixed point - it only steers transients away from next-pointer
+     cycles. *)
+  let chain_crosses st w x =
+    let n = Array.length st.cls in
+    let rec go v steps =
+      v >= 0 && steps <= n && (v = x || go st.next.(v) (steps + 1))
+    in
+    go w 0
+
+  let link_failed st x v =
+    match st.failed_ids with
+    | [] -> false
+    | ids ->
+        let lo, hi = if v < x then (v, x) else (x, v) in
+        List.exists (fun (a, b) -> a = lo && b = hi) ids
+
+  (* [x]'s stored record just changed quality (class or length, incl.
+     becoming unrouted): enqueue only the neighbors the change can
+     actually move. Dependents (routing via [x]) must re-select
+     unconditionally. Any other neighbor [v] chose its stored route over
+     [x]'s old offer, so a {e worsened} or withdrawn offer cannot move
+     it; an {e improved} offer matters only if it now beats [v]'s stored
+     route outright (class desc, length asc, lowest next-hop ASN). This
+     collapses the wave's fanout from degree to the handful of nodes
+     that actually re-route. *)
+  let push_affected st push x =
+    let g = st.graph in
+    let neighbors = As_graph.Indexed.neighbors g x in
+    for k = 0 to Array.length neighbors - 1 do
+      let (v, rel) : int * Relationship.t = neighbors.(k) in
+      (* [rel] is what v is to x. *)
+      if st.next.(v) = x then push v
+      else if st.cls.(x) >= 0 then begin
+        let exportable =
+          st.cls.(x) >= cls_customer
+          || Relationship.equal rel Relationship.Customer
+        in
+        if exportable && not (link_failed st x v) then begin
+          (* x's relationship to v is the inverse of [rel]. *)
+          let cand_cls =
+            match rel with
+            | Relationship.Customer -> cls_provider
+            | Relationship.Peer -> cls_peer
+            | Relationship.Provider -> cls_customer
+          in
+          let cand_len = st.len.(x) + 1 in
+          let beats =
+            st.cls.(v) < 0 || cand_cls > st.cls.(v)
+            || (cand_cls = st.cls.(v)
+                && (cand_len < st.len.(v)
+                    || (cand_len = st.len.(v)
+                        && st.next.(v) >= 0
+                        && Asn.compare
+                             (As_graph.Indexed.asn_of_id g x)
+                             (As_graph.Indexed.asn_of_id g st.next.(v))
+                           < 0)))
+          in
+          if beats then push v
+        end
+      end
+    done
+
+  (* Local re-selection ("ripple") repair: pop a node, recompute its
+     best response from its neighbors' current stored routes under
+     valley-free export (total order: class desc, length asc, lowest
+     next-hop ASN - exactly [better] in the full engine), and re-enqueue
+     its neighbors only when its route *quality* (class, length)
+     changed. A node that swaps to an equal-quality route via a
+     different next hop affects nobody: its neighbors' candidates
+     through it keep the same class, length, and offering ASN, so the
+     repair frontier collapses to the nodes whose (class, length)
+     actually move - the common multihomed re-homing flap repairs in
+     O(degree) instead of invalidating the whole customer cone.
+
+     An empty queue means every node was re-evaluated after its inputs
+     last changed, i.e. the tables are a best-response equilibrium,
+     which is unique under Gao-Rexford safety and therefore
+     byte-identical to a full compute. *)
+  let wave st s ~tail ~newly =
+    let g = st.graph in
+    let n = As_graph.Indexed.n g in
+    let cap = n + 1 in
+    let head = ref 0 and tail = ref tail in
+    let init_len = st.infos.(0).init_len in
+    let budget = ref ((64 * n) + 256) in
+    let push v =
+      if v <> st.origin_id && not s.on_list.(v) then begin
+        s.on_list.(v) <- true;
+        s.queue.(!tail) <- v;
+        let t = !tail + 1 in
+        tail := if t = cap then 0 else t
+      end
+    in
+    let stamp v =
+      if s.mark.(v) <> s.epoch then begin
+        s.mark.(v) <- s.epoch;
+        incr newly
+      end
+    in
+    while !head <> !tail do
+      let x = s.queue.(!head) in
+      let h = !head + 1 in
+      head := if h = cap then 0 else h;
+      s.on_list.(x) <- false;
+      decr budget;
+      if !budget < 0 then raise Bail;
+      let neighbors = As_graph.Indexed.neighbors g x in
+      let b_cls = ref (-1) and b_len = ref 0 and b_next = ref (-1) in
+      (* Did a candidate lose only to the chain-crossing rejection? Then
+         x's true best response is not yet determined — the crossing can
+         untangle later without any neighbor's record (and hence any
+         push) changing, so x must re-evaluate once the wave has moved
+         on. Without this, a transiently-crossing winner leaves x stuck
+         on a worse route (or unrouted) at quiescence. *)
+      let deferred = ref false in
+      (* A plain counted loop with local refs: the candidate scan runs
+         per pop and must not allocate (an [Array.iter] closure over the
+         running-best refs boxes all of them, every pop). *)
+      for k = 0 to Array.length neighbors - 1 do
+        let (w, rel) : int * Relationship.t = neighbors.(k) in
+        (* [rel] is what w is to x; w exports its route to x iff the
+           route is customer/origin class or x is w's customer. *)
+        if st.cls.(w) >= 0
+           && (st.cls.(w) >= cls_customer
+               || Relationship.equal rel Relationship.Provider)
+           && not (link_failed st x w)
+        then begin
+          let cand_cls =
+            match rel with
+            | Relationship.Customer -> cls_customer
+            | Relationship.Peer -> cls_peer
+            | Relationship.Provider -> cls_provider
+          in
+          let cand_len = st.len.(w) + 1 in
+          let take =
+            !b_next = -1
+            || (if cand_cls <> !b_cls then cand_cls > !b_cls
+                else if cand_len <> !b_len then cand_len < !b_len
+                else
+                  Asn.compare
+                    (As_graph.Indexed.asn_of_id g w)
+                    (As_graph.Indexed.asn_of_id g !b_next)
+                  < 0)
+          in
+          if take then begin
+            (* Incumbent fast path: if x already routes via w, the
+               stored chain x -> w -> ... is acyclic (the invariant
+               every adopt preserves), so chain(w) cannot contain x —
+               no walk needed. Re-confirmation pops, the wave's common
+               case, take this branch. *)
+            if st.next.(x) = w then begin
+              b_cls := cand_cls;
+              b_len := cand_len;
+              b_next := w
+            end
+            else begin
+              if chain_crosses st w x then deferred := true
+              else begin
+                b_cls := cand_cls;
+                b_len := cand_len;
+                b_next := w
+              end
+            end
+          end
+        end
+      done;
+      let changed_here = ref false in
+      if !b_next = -1 then begin
+        if st.cls.(x) >= 0 then begin
+          st.cls.(x) <- -1;
+          st.len.(x) <- 0;
+          st.next.(x) <- -1;
+          st.src.(x) <- -1;
+          st.depth.(x) <- 0;
+          stamp x;
+          changed_here := true;
+          push_affected st push x
+        end
+      end
+      else begin
+        let quality_changed =
+          st.cls.(x) <> !b_cls || st.len.(x) <> !b_len
+        in
+        if quality_changed || st.next.(x) <> !b_next then begin
+          st.cls.(x) <- !b_cls;
+          st.len.(x) <- !b_len;
+          st.next.(x) <- !b_next;
+          st.src.(x) <- 0;
+          st.depth.(x) <- !b_len - init_len;
+          stamp x;
+          changed_here := true;
+          if quality_changed then push_affected st push x
+        end
+      end;
+      (* Re-evaluate x later only while the wave is still moving: if the
+         queue is empty and x's own record just stabilized, every chain
+         is consistent, and a crossing candidate provably cannot beat a
+         stored route at a consistent state — the rejection was
+         harmless. Re-pushing unconditionally would spin on its own
+         unresolved crossing until the budget bails. *)
+      if !deferred && (!head <> !tail || !changed_here) then push x
+    done
+
+  (* Fail link (a, b): stop immediately unless a selected route actually
+     crosses it; otherwise the crossing endpoint re-selects and the
+     change (if any) ripples out. Returns the number of nodes whose
+     route record changed. *)
+  (* Repairs maintain only [failed_ids] (what the wave consults);
+     [update] installs the target [Link_set.t] wholesale at the end, so
+     per-link Map surgery here would be redundant work. *)
+  let fail_repair st s ia ib =
+    st.failed_ids <-
+      (if ia < ib then (ia, ib) else (ib, ia)) :: st.failed_ids;
+    let root =
+      if st.cls.(ia) >= 0 && st.next.(ia) = ib then ia
+      else if st.cls.(ib) >= 0 && st.next.(ib) = ia then ib
+      else -1
+    in
+    if root = -1 then 0
+    else begin
+      s.epoch <- s.epoch + 1;
+      let tail = ref 0 in
+      s.on_list.(root) <- true;
+      s.queue.(0) <- root;
+      incr tail;
+      let newly = ref 0 in
+      wave st s ~tail:!tail ~newly;
+      !newly
+    end
+
+  (* Restore link (a, b): the only new candidates are the two offers
+     across the restored edge, and each endpoint's stored route is
+     already the maximum over every other candidate - so an O(1) check
+     per endpoint decides whether anything can move, and the wave only
+     runs when an endpoint actually improves. *)
+  let restore_repair st s ia ib =
+    (let lo, hi = if ia < ib then (ia, ib) else (ib, ia) in
+     st.failed_ids <-
+       List.filter (fun (a, b) -> not (a = lo && b = hi)) st.failed_ids);
+    s.epoch <- s.epoch + 1;
+    let init_len = st.infos.(0).init_len in
+    let tail = ref 0 in
+    let newly = ref 0 in
+    let push v =
+      if v <> st.origin_id && not s.on_list.(v) then begin
+        s.on_list.(v) <- true;
+        s.queue.(!tail) <- v;
+        incr tail
+      end
+    in
+    (* Offer w's route to x across the restored edge; adopt it only if
+       it beats x's stored maximum (then x's neighbors re-evaluate). *)
+    let try_improve x w =
+      if x <> st.origin_id && st.cls.(w) >= 0 then begin
+        (* What w is to x, read off x's adjacency row. *)
+        let rel = ref None in
+        Array.iter
+          (fun ((u, r) : int * Relationship.t) ->
+             if u = w then rel := Some r)
+          (As_graph.Indexed.neighbors st.graph x);
+        match !rel with
+        | None -> ()
+        | Some rel ->
+        let exportable =
+          st.cls.(w) >= cls_customer
+          || Relationship.equal rel Relationship.Provider
+        in
+        if exportable then begin
+          let cand_cls =
+            match rel with
+            | Relationship.Customer -> cls_customer
+            | Relationship.Peer -> cls_peer
+            | Relationship.Provider -> cls_provider
+          in
+          let cand_len = st.len.(w) + 1 in
+          let beats =
+            st.cls.(x) = -1
+            || (if cand_cls <> st.cls.(x) then cand_cls > st.cls.(x)
+                else if cand_len <> st.len.(x) then cand_len < st.len.(x)
+                else
+                  Asn.compare
+                    (As_graph.Indexed.asn_of_id st.graph w)
+                    (As_graph.Indexed.asn_of_id st.graph st.next.(x))
+                  < 0)
+          in
+          if beats && chain_crosses st w x then
+            (* The winning offer is blocked only by a (possibly
+               transient) crossing: let the wave re-evaluate x with a
+               full scan rather than silently dropping it. *)
+            push x
+          else if beats then begin
+            let quality_changed =
+              st.cls.(x) <> cand_cls || st.len.(x) <> cand_len
+            in
+            st.cls.(x) <- cand_cls;
+            st.len.(x) <- cand_len;
+            st.next.(x) <- w;
+            st.src.(x) <- 0;
+            st.depth.(x) <- cand_len - init_len;
+            if s.mark.(x) <> s.epoch then begin
+              s.mark.(x) <- s.epoch;
+              incr newly
+            end;
+            if quality_changed then push_affected st push x
+          end
+        end
+      end
+    in
+    try_improve ia ib;
+    try_improve ib ia;
+    if !tail > 0 then wave st s ~tail:!tail ~newly;
+    !newly
+
+  let shift_len st delta =
+    if delta <> 0 then begin
+      let n = As_graph.Indexed.n st.graph in
+      for v = 0 to n - 1 do
+        if st.cls.(v) >= 0 then st.len.(v) <- st.len.(v) + delta
+      done
+    end
+
+  let update st scratch ?(failed = Link_set.empty) anns =
+    scratch_ready scratch (As_graph.Indexed.n st.graph);
+    match (anns, st.ann) with
+    | [ a ], Some prev
+      when supported_ann a
+           && Asn.equal a.Announcement.origin prev.Announcement.origin ->
+        (* Same origin is enough: the routing arrays never depend on the
+           prefix, so one state serves every prefix of an origin — a
+           prefix swap is a metadata update, a prepend change a length
+           shift. This is what lets [Dynamics] key states per origin and
+           amortize one repair across all of an origin's prefixes. *)
+        (let links_applied = ref 0
+        and frontier = ref 0
+        and stop_early = ref 0 in
+        if (not (Prefix.equal a.Announcement.prefix prev.Announcement.prefix))
+           || a.Announcement.prepend <> prev.Announcement.prepend
+           || a.Announcement.communities <> prev.Announcement.communities
+        then begin
+          (* The claimed path depends only on (origin, prepend): a pure
+             prefix or communities swap reuses the previous path and
+             set instead of rebuilding them. *)
+          let info =
+            if a.Announcement.prepend = prev.Announcement.prepend then
+              { st.infos.(0) with spec = a }
+            else ann_info_no_rov a
+          in
+          let shift = info.init_len - st.infos.(0).init_len in
+          shift_len st shift;
+          (* A pure prefix swap leaves everything a reader derives for
+             that prefix untouched; shifts and community changes do not. *)
+          if shift <> 0
+             || a.Announcement.communities <> prev.Announcement.communities
+          then st.version <- fresh_version ();
+          st.infos <- [| info |];
+          st.ann <- Some a
+        end;
+        let apply repair (x, y) =
+          match
+            ( As_graph.Indexed.id_of_asn st.graph x,
+              As_graph.Indexed.id_of_asn st.graph y )
+          with
+          | ix, iy ->
+              incr links_applied;
+              let changed = repair st scratch ix iy in
+              if changed = 0 then incr stop_early;
+              frontier := !frontier + changed
+          | exception Not_found ->
+              (* A link between ASes outside this graph can't carry
+                 routes; just record the set change. *)
+              ()
+        in
+        match
+          (* Physical equality is the hot path: consecutive updates of
+             one origin's prefixes within one event pass the very set
+             this state already applied. *)
+          if st.failed != failed then begin
+            List.iter
+              (fun l ->
+                 if not (Link_set.mem (fst l) (snd l) failed) then
+                   apply restore_repair l)
+              (Link_set.elements st.failed);
+            List.iter
+              (fun l ->
+                 if not (Link_set.mem (fst l) (snd l) st.failed) then
+                   apply fail_repair l)
+              (Link_set.elements failed)
+          end
+        with
+        | () ->
+            if !frontier > 0 then st.version <- fresh_version ();
+            st.failed <- failed;
+            ( make_t st,
+              Steps
+                { links_applied = !links_applied;
+                  frontier = !frontier;
+                  stop_early = !stop_early } )
+        | exception Bail ->
+            (* Repair blew its budget: the arrays are mid-flight garbage,
+               but a rebuild overwrites every field, so correctness is
+               preserved at full-compute cost. Abandoned queue entries
+               must not poison the next repair's pushes. *)
+            Array.fill scratch.on_list 0 (Array.length scratch.on_list) false;
+            (rebuild st scratch ~failed anns, Full_rebuild))
+    | _ -> (rebuild st scratch ~failed anns, Full_rebuild)
+end

@@ -88,6 +88,32 @@ val next_hop : t -> Asn.t -> Asn.t option
 (** The neighbor [a] forwards traffic to for this prefix; [None] if [a] has
     no route or is itself an origin. *)
 
+val route_matches : t -> Asn.t -> Route.t -> bool
+(** [route_matches t a r] is [route_at t a = Some r] without building the
+    route: an allocation-free walk of the stored next-hop chain against
+    [r]'s path. This is the dynamics simulator's per-session unchanged
+    check — the overwhelmingly common case after an event. *)
+
+(** Id-keyed variants for per-event hot loops: [i] is the AS's index in
+    the {e same} [As_graph.Indexed.t] the outcome was computed over
+    ([As_graph.Indexed.id_of_asn], cacheable across outcomes). They skip
+    the per-call ASN-to-id table lookup, which dominates a loop that
+    probes thousands of (prefix, session) pairs per event. *)
+
+val route_class_at_id :
+  t -> int -> [ `Origin | `Customer | `Peer | `Provider ] option
+
+val route_at_id : t -> int -> Route.t option
+val route_matches_id : t -> int -> Route.t -> bool
+
+val class_code_at_id : t -> int -> int
+(** The raw decision-class code at an id: 3 origin, 2 customer, 1 peer,
+    0 provider, -1 unrouted. Codes are ordered by collector-feed
+    visibility (a feed that shows peer routes shows everything
+    customer-learned and above), so "visible on this feed" is a single
+    [>=] against a per-feed threshold — the allocation-free form of
+    {!route_class_at_id} + [Collector.visible] for tight loops. *)
+
 val forwarding_path : t -> Asn.t -> Asn.t list option
 (** [forwarding_path t a] is the data-plane AS sequence from [a] to
     wherever its route terminates: [a] first, terminating origin last (with
@@ -115,3 +141,111 @@ val candidates_at : t -> Asn.t -> Route.t list
 
 val routed_count : t -> int
 (** Number of ASes that have a route. *)
+
+val copy : t -> t
+(** An outcome that owns its arrays. Computing through a
+    {!Workspace} (or a {!Delta.state}) yields a view over reused scratch
+    that the next compute invalidates; [copy] snapshots it so it can be
+    retained — this is how outcomes enter a {!Route_cache}. O(n) blits,
+    no recomputation. *)
+
+(** Incremental route repair: apply a configuration change to a retained
+    outcome and re-run the Gao–Rexford decision only where it can matter,
+    instead of recomputing the world.
+
+    A {!state} holds the current fixed point for one {e origin} as owned
+    flat int arrays — the routing arrays never depend on the prefix, so
+    one state serves every prefix the origin announces (a prefix swap is
+    an O(1) metadata update; this is what lets the dynamics simulator
+    key its state LRU per origin). {!update} diffs the requested
+    (announcements, failed links) configuration against the last applied
+    one and repairs:
+
+    - {b link failure}: if no selected route crosses the link the outcome
+      is untouched (O(1) stop-early); otherwise the crossing endpoint
+      re-selects locally and the change, if any, ripples outward —
+      O(affected), not O(world);
+    - {b link restore}: the only new candidates are the two offers across
+      the restored edge, so an O(1) check per endpoint decides whether
+      anything can move;
+
+    The ripple recomputes a popped node's best response from its
+    neighbors' current stored routes (class desc, length asc, lowest
+    next-hop ASN — the full engine's total order) and re-enqueues its
+    neighbors only when the node's route {e quality} (class, length)
+    changed: a swap to an equal-quality route via a different next hop
+    leaves every neighbor's candidate through it literally identical, so
+    the common multihomed re-homing flap repairs in O(degree) instead of
+    cascading through the customer cone. Candidates whose selection
+    chain passes through the evaluating node are rejected (they can
+    never win the Gao–Rexford order at a consistent state, and skipping
+    them keeps the stored next-pointer chains acyclic mid-repair); a
+    node that lost its would-be winner only to that rejection
+    re-enqueues itself while the wave is still moving, since the
+    crossing can untangle without any further push reaching it. An
+    empty queue means every node re-evaluated after its inputs last
+    changed — a best-response equilibrium.
+    - {b prepend change}: decisions are invariant under uniform length
+      shifts, so only the [len] column moves.
+
+    Because the Gao–Rexford system is safe (unique stable assignment),
+    every repair lands on exactly the arrays a full {!compute} would
+    produce; `quicksand check --suite delta` enforces byte-identical
+    update streams and tables against the full engine.
+
+    Delta repair is only attempted for the plain dynamics shape — a
+    single announcement with no forged suffix, export scoping, radius cap
+    or ROV. Anything else (and every first call) falls back to a full
+    rebuild through the scratch workspace, reported as {!kind}
+    [Full_rebuild].
+
+    Outcomes returned by {!update} alias the state's arrays and are
+    invalidated by the state's next update — the same contract as
+    {!Workspace}; use {!copy} to retain one. A [scratch] is single-domain
+    scratch like a workspace and may be shared across many states. *)
+module Delta : sig
+  type state
+  (** Per-prefix retained fixed point plus the configuration it is the
+      fixed point of. *)
+
+  type scratch
+  (** Reusable repair scratch (wave queue, epoch marks, a rebuild
+      workspace); shareable across all states driven from one domain. *)
+
+  val create_scratch : unit -> scratch
+
+  val create : As_graph.Indexed.t -> state
+  (** A cold state: the first {!update} performs a full rebuild. *)
+
+  type kind =
+    | Full_rebuild
+        (** cold start, or a configuration delta repair can't express *)
+    | Steps of { links_applied : int; frontier : int; stop_early : int }
+        (** [links_applied] failed-link-set differences applied;
+            [frontier] distinct ASes whose stored route record (class,
+            length, next hop) changed — rendered AS paths further
+            downstream can change without their records being touched;
+            [stop_early] links whose repair proved a no-op without
+            touching any route *)
+
+  val update :
+    state -> scratch -> ?failed:Link_set.t -> Announcement.t list -> t * kind
+  (** Bring the state to the requested configuration and return the
+      outcome (aliasing the state's arrays). *)
+
+  val version : state -> int
+  (** A stamp that changes exactly when an {!update} changes anything an
+      outcome reader could observe: any route record, a uniform length
+      shift, or the announcement's communities (a pure prefix swap keeps
+      the stamp). Two reads of the same prefix at the same version are
+      guaranteed identical, so a caller that remembers the version it
+      last derived per-session views at can skip the whole derivation
+      when the stamp matches — the dynamics simulator's common case,
+      where most events leave most origins' states untouched. Stamps are
+      globally unique across states: an evicted-and-recreated state
+      never repeats a number a caller remembers. *)
+
+  val supported : Announcement.t list -> bool
+  (** Whether this announcement shape is delta-eligible (informational:
+      {!update} falls back by itself). *)
+end

@@ -15,10 +15,13 @@
     use one cache per (graph, rov) pair and never share it across
     scenarios.
 
-    Cached outcomes are stored by reference and must own their arrays:
-    never insert an outcome computed through a {!Propagate.Workspace}
-    (workspace-backed outcomes are invalidated by the workspace's next
-    compute). *)
+    Cached outcomes are stored by reference and must own their arrays.
+    The simulator's miss path computes through a reused
+    {!Propagate.Workspace} (or the delta engine's scratch state) and
+    inserts a {!Propagate.copy} of the result — copy-out-on-insert —
+    because workspace-backed outcomes are invalidated by the workspace's
+    next compute. Never insert a workspace- or scratch-backed [t]
+    directly. *)
 
 type t
 

@@ -173,6 +173,88 @@ let static ?(dynamics = default_dynamics) ?(seeds = [ 1; 2; 3; 4; 5 ]) size =
          outcome ~experiment:"interception" (List.rev !icept) ])
     seeds
 
+(* ---- delta-vs-full propagation oracle -------------------------------- *)
+
+(* [Propagate.Delta] claims to be a pure reimplementation of propagation:
+   repairing the dirty frontier after each churn event must land on the
+   same unique Gao-Rexford fixed point a full recompute finds. This suite
+   makes the claim falsifiable at the system level, per seed:
+
+   - the full collector update stream must be byte-identical with delta
+     repair on and off (cache disabled, so propagation alone is on trial);
+   - the final (session, prefix) tables must agree as well;
+   - layering the route cache on top of the delta engine must still
+     change nothing;
+   - worker count must not leak into delta-backed results;
+   - and the delta run must actually take delta steps, otherwise the
+     identity claims are vacuous. *)
+let delta ?(dynamics = default_dynamics) ?(seeds = [ 1; 2; 3; 4; 5 ]) size =
+  List.concat_map
+    (fun seed ->
+       let scenario = Scenario.build ~seed size in
+       let capture ~delta_states ~cache =
+         let buf = Buffer.create (1 lsl 16) in
+         let ppf = Format.formatter_of_buffer buf in
+         let m =
+           Measurement.run
+             ~dynamics:
+               { dynamics with
+                 Dynamics.route_cache_size = (if cache then 512 else 0);
+                 delta_states }
+             ~observe:(fun u -> Format.fprintf ppf "%a@." Update.pp u)
+             scenario
+         in
+         Format.pp_print_flush ppf ();
+         (Buffer.contents buf, m)
+       in
+       let final_tables m =
+         List.map
+           (fun (c : Measurement.cell) ->
+              render
+                (fun ppf () ->
+                   Format.fprintf ppf "%a %a -> %s"
+                     Update.pp_session c.Measurement.key.Measurement.session
+                     Prefix.pp c.Measurement.key.Measurement.prefix
+                     (match c.Measurement.final_set with
+                      | None -> "-"
+                      | Some set ->
+                          Asn.Set.elements set
+                          |> List.map Asn.to_string
+                          |> String.concat ","))
+                ())
+           m.Measurement.cells
+         |> List.sort String.compare |> String.concat "\n"
+       in
+       let f3l ~jobs m =
+         Pool.with_pool ~jobs (fun exec ->
+             render Path_changes.print (Path_changes.compute ~exec m))
+       in
+       let check ~pair ~experiment a b =
+         { seed; pair; experiment;
+           ok = String.equal a b;
+           detail = first_divergence a b }
+       in
+       let stream_full, m_full = capture ~delta_states:0 ~cache:false in
+       let stream_delta, m_delta = capture ~delta_states:512 ~cache:false in
+       let stream_both, m_both = capture ~delta_states:512 ~cache:true in
+       [ check ~pair:"delta-on-vs-off" ~experiment:"stream"
+           stream_delta stream_full;
+         check ~pair:"delta-on-vs-off" ~experiment:"final-tables"
+           (final_tables m_delta) (final_tables m_full);
+         check ~pair:"delta-plus-cache-vs-off" ~experiment:"stream"
+           stream_both stream_full;
+         check ~pair:"delta-plus-cache-vs-off" ~experiment:"final-tables"
+           (final_tables m_both) (final_tables m_full);
+         check ~pair:"delta-jobs-1-vs-4" ~experiment:"F3L"
+           (f3l ~jobs:1 m_delta) (f3l ~jobs:4 m_delta);
+         { seed; pair = "delta-engaged"; experiment = "stats";
+           ok = m_delta.Measurement.dyn_stats.Dynamics.delta_steps > 0;
+           detail =
+             (if m_delta.Measurement.dyn_stats.Dynamics.delta_steps > 0 then
+                None
+              else Some "delta run took zero delta steps") } ])
+    seeds
+
 let run ?(dynamics = default_dynamics) ?(seeds = [ 1; 2 ]) size =
   List.concat_map
     (fun seed ->

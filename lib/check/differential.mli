@@ -36,6 +36,22 @@ val run :
 (** Run every pair on every seed (default seeds [1; 2]) and return one
     outcome per (seed, pair, experiment). Deterministic. *)
 
+val delta :
+  ?dynamics:Dynamics.config -> ?seeds:int list -> Scenario.size ->
+  outcome list
+(** The delta-vs-full propagation oracle (default seeds [1..5]): per
+    seed, runs the same measurement with [Dynamics.delta_states] 0
+    (every churn event is a full recompute) and 512 (incremental
+    repair), both with the route cache disabled, and demands
+    byte-identical collector update streams and final (session, prefix)
+    tables; then layers the route cache on top of the delta engine
+    (still byte-identical), checks worker count does not leak into
+    delta-backed F3L output (jobs 1 vs 4), and finally that the delta
+    run actually took delta steps — without which the identities would
+    be vacuous. A divergence is a repair-engine bug by construction:
+    Gao-Rexford safety makes the stable assignment unique, so any
+    correct repair must land on the full-compute fixed point. *)
+
 val static :
   ?dynamics:Dynamics.config -> ?seeds:int list -> Scenario.size ->
   outcome list

@@ -122,6 +122,7 @@ let generate ~rng p =
     end
   done;
   (* Stub ASes: 1-2 providers picked preferentially among transits. *)
+  let stubs = Array.make (max p.n_stub 1) tier1.(0) in
   for i = 0 to p.n_stub - 1 do
     let rank = Hashtbl.find_opt hosting_indices i in
     let name, weight =
@@ -133,6 +134,7 @@ let generate ~rng p =
       | None -> (Printf.sprintf "Stub-%d" (i + 1), 0.)
     in
     let a = add As_graph.Stub name weight in
+    stubs.(i) <- a;
     let pool = if Array.length transits > 0 then transits else tier1 in
     let weights =
       Array.map (fun c -> 1.0 +. float_of_int (List.length (As_graph.customers g c))) pool
@@ -145,6 +147,27 @@ let generate ~rng p =
         As_graph.add_provider_customer g ~provider:p2 ~customer:a
     end
   done;
+  (* Preferential attachment can leave a transit with no customers, which
+     contradicts its tier metadata (lint QS104). Each orphan adopts a
+     random stub as an extra multihoming leg. This pass only draws from
+     the RNG after all other generation, so everything above is
+     byte-identical per seed with or without orphans. *)
+  if p.n_stub > 0 then
+    Array.iter
+      (fun t ->
+         if As_graph.customers g t = [] then begin
+           let adopted = ref false in
+           let attempts = ref 0 in
+           while (not !adopted) && !attempts < 50 do
+             incr attempts;
+             let s = stubs.(Rng.int rng p.n_stub) in
+             if As_graph.relationship g t s = None then begin
+               As_graph.add_provider_customer g ~provider:t ~customer:s;
+               adopted := true
+             end
+           done
+         end)
+      transits;
   g
 
 let hosting_ases g =

@@ -214,6 +214,259 @@ let test_workspace_clobbers_retained_outcome () =
   Alcotest.(check (option int)) "plain outcomes are stable"
     (Some 4) (hop plain (asn 2))
 
+let test_copy_owns_arrays () =
+  let ix = diamond () in
+  let ws = Propagate.Workspace.create () in
+  let hop outcome a = Option.map Asn.to_int (Propagate.next_hop outcome a) in
+  let first = Propagate.copy (Propagate.compute ix ~workspace:ws [ origin4 ]) in
+  let _ =
+    Propagate.compute ix ~workspace:ws
+      [ Announcement.originate (asn 1) (pfx "10.0.0.0/24") ]
+  in
+  (* Unlike the raw workspace view pinned above, the copy survives. *)
+  Alcotest.(check (option int)) "copied outcome survives the next compute"
+    (Some 4) (hop first (asn 2));
+  check_int "copy still counts all routed ASes" 4 (Propagate.routed_count first)
+
+(* The dynamics cache-miss path is [compute ~workspace] + [copy]: it must
+   allocate strictly less than a cold [compute] (which builds all five
+   arrays, two settle arrays and two bucket tables from scratch). *)
+let test_workspace_copy_alloc_bound () =
+  let ix = diamond () in
+  let ws = Propagate.Workspace.create () in
+  ignore (Propagate.compute ix ~workspace:ws [ origin4 ] : Propagate.t);
+  let bytes f =
+    let before = Gc.allocated_bytes () in
+    ignore (f () : Propagate.t);
+    Gc.allocated_bytes () -. before
+  in
+  let cold = bytes (fun () -> Propagate.compute ix [ origin4 ]) in
+  let miss =
+    bytes (fun () -> Propagate.copy (Propagate.compute ix ~workspace:ws [ origin4 ]))
+  in
+  check_bool "workspace+copy allocates less than a cold compute" true
+    (miss < cold)
+
+(* ---- Propagate.Delta ------------------------------------------------- *)
+
+(* Every AS agrees between a delta-maintained outcome and a fresh full
+   compute: same route (path bytes), same class. *)
+let same_outcome ases o_delta o_full =
+  List.for_all
+    (fun a ->
+       (match (Propagate.route_at o_delta a, Propagate.route_at o_full a) with
+        | Some r1, Some r2 -> Route.equal r1 r2
+        | None, None -> true
+        | Some _, None | None, Some _ -> false)
+       && Propagate.route_class_at o_delta a = Propagate.route_class_at o_full a)
+    ases
+
+let delta_vs_full ix ases anns_of steps =
+  let st = Propagate.Delta.create ix in
+  let scratch = Propagate.Delta.create_scratch () in
+  List.for_all
+    (fun (failed, prepend) ->
+       let anns = anns_of prepend in
+       let o_delta, _ = Propagate.Delta.update st scratch ~failed anns in
+       let o_full = Propagate.compute ix ~failed anns in
+       same_outcome ases o_delta o_full)
+    steps
+
+let test_delta_matches_full_diamond () =
+  let ix = diamond () in
+  let ases = List.map asn [ 1; 2; 3; 4 ] in
+  let link a b = (asn a, asn b) in
+  let steps =
+    [ (Link_set.empty, 0);                                  (* cold start *)
+      (Link_set.of_list [ link 2 4 ], 0);                   (* fail on-tree *)
+      (Link_set.empty, 0);                                  (* restore *)
+      (Link_set.of_list [ link 1 3 ], 0);                   (* off-tree *)
+      (Link_set.of_list [ link 1 3; link 2 4 ], 0);         (* pile on *)
+      (Link_set.of_list [ link 2 4; link 3 4 ], 2);         (* swap + prepend *)
+      (Link_set.empty, 0);                                  (* all back *)
+      (Link_set.empty, 2) ]                                 (* prepend only *)
+  in
+  check_bool "delta matches full across a diamond event sequence" true
+    (delta_vs_full ix ases
+       (fun prepend -> [ Announcement.with_prepend prepend origin4 ])
+       steps)
+
+let test_delta_stop_early_off_tree () =
+  let ix = diamond () in
+  let st = Propagate.Delta.create ix in
+  let scratch = Propagate.Delta.create_scratch () in
+  let _, k0 = Propagate.Delta.update st scratch [ origin4 ] in
+  check_bool "cold start is a full rebuild" true (k0 = Propagate.Delta.Full_rebuild);
+  (* 1-3 carries no selected route (1 tie-breaks to 2, 3 goes direct). *)
+  let failed = Link_set.of_list [ (asn 1, asn 3) ] in
+  let _, k1 = Propagate.Delta.update st scratch ~failed [ origin4 ] in
+  (match k1 with
+   | Propagate.Delta.Steps { links_applied; frontier; stop_early } ->
+       check_int "one link applied" 1 links_applied;
+       check_int "no route touched" 0 frontier;
+       check_int "stop-early" 1 stop_early
+   | Propagate.Delta.Full_rebuild -> Alcotest.fail "expected a delta step");
+  (* 2-4 is on-tree for 1, 2 and the frontier must cover both. *)
+  let failed = Link_set.of_list [ (asn 1, asn 3); (asn 2, asn 4) ] in
+  let _, k2 = Propagate.Delta.update st scratch ~failed [ origin4 ] in
+  (match k2 with
+   | Propagate.Delta.Steps { frontier; stop_early; _ } ->
+       check_bool "frontier covers the rerouted ASes" true (frontier >= 2);
+       check_int "no stop-early this time" 0 stop_early
+   | Propagate.Delta.Full_rebuild -> Alcotest.fail "expected a delta step")
+
+let test_delta_restore_creates_route () =
+  let ix = diamond () in
+  let st = Propagate.Delta.create ix in
+  let scratch = Propagate.Delta.create_scratch () in
+  let cut = Link_set.of_list [ (asn 2, asn 4); (asn 3, asn 4) ] in
+  let o, _ = Propagate.Delta.update st scratch ~failed:cut [ origin4 ] in
+  check_int "only the origin routed while cut off" 1 (Propagate.routed_count o);
+  let half = Link_set.of_list [ (asn 2, asn 4) ] in
+  let o, _ = Propagate.Delta.update st scratch ~failed:half [ origin4 ] in
+  check_int "restore reconnects everyone" 4 (Propagate.routed_count o);
+  Alcotest.(check (list int)) "2 reroutes via peer 3" [ 2; 3; 4 ]
+    (path_at o (asn 2))
+
+(* Regression: Gao-Rexford preference is not monotone along an edge.
+   Restoring 5-6 lets 5 switch from its provider route [5,2,1] (len 3) to
+   the class-better peer route [5,6,7,8,1] (len 5); from its customer 9's
+   perspective the candidate via 5 is provider-class either way, so it
+   *worsened* (len 4 -> 6) and 9 must re-select its other provider 10. A
+   pure improvement wave leaves 9 stranded on a stale via-5 entry (found
+   by the lagged random-event sweep; shrunk from Topo_gen seed 22). *)
+let test_delta_restore_class_up_len_up () =
+  let g = As_graph.create () in
+  List.iter (fun i -> As_graph.add_as g (asn i) (stub_info ""))
+    [ 1; 2; 5; 6; 7; 8; 9; 10 ];
+  let pc p c = As_graph.add_provider_customer g ~provider:(asn p) ~customer:(asn c) in
+  pc 2 1; pc 2 5; pc 2 10;
+  As_graph.add_peering g (asn 5) (asn 6);
+  pc 6 7; pc 7 8; pc 8 1;
+  pc 5 9; pc 10 9;
+  let ix = As_graph.Indexed.of_graph g in
+  let ann = [ Announcement.originate (asn 1) (pfx "10.0.0.0/24") ] in
+  let st = Propagate.Delta.create ix in
+  let scratch = Propagate.Delta.create_scratch () in
+  let cut = Link_set.of_list [ (asn 5, asn 6) ] in
+  let o, _ = Propagate.Delta.update st scratch ~failed:cut ann in
+  (* Tie at 9 between providers 5 and 10 (both len 4): lower ASN wins. *)
+  Alcotest.(check (list int)) "9 starts on 5" [ 9; 5; 2; 1 ] (path_at o (asn 9));
+  let o, kind = Propagate.Delta.update st scratch ann in
+  check_bool "restore is a delta step" true
+    (match kind with Propagate.Delta.Steps _ -> true | _ -> false);
+  Alcotest.(check (list int)) "5 takes the class-better peer route"
+    [ 5; 6; 7; 8; 1 ] (path_at o (asn 5));
+  check_bool "peer class at 5" true
+    (Propagate.route_class_at o (asn 5) = Some `Peer);
+  Alcotest.(check (list int)) "9 re-selects its other provider"
+    [ 9; 10; 2; 1 ] (path_at o (asn 9));
+  check_bool "whole outcome matches full compute" true
+    (same_outcome
+       (List.map asn [ 1; 2; 5; 6; 7; 8; 9; 10 ])
+       o (Propagate.compute ix ann))
+
+let test_delta_unsupported_falls_back () =
+  let ix = diamond () in
+  let st = Propagate.Delta.create ix in
+  let scratch = Propagate.Delta.create_scratch () in
+  let scoped =
+    { origin4 with Announcement.export_to = Some (Asn.Set.of_list [ asn 2 ]) }
+  in
+  check_bool "scoped announcement is not delta-eligible" false
+    (Propagate.Delta.supported [ scoped ]);
+  let o, k = Propagate.Delta.update st scratch [ scoped ] in
+  check_bool "falls back to a full rebuild" true (k = Propagate.Delta.Full_rebuild);
+  (* The origin only announces to 2, so 3 must hear it the long way round. *)
+  Alcotest.(check (list int)) "and honors the scoping" [ 3; 2; 4 ]
+    (path_at o (asn 3));
+  (* Still unsupported on the second identical call: never diffed. *)
+  let _, k2 = Propagate.Delta.update st scratch [ scoped ] in
+  check_bool "stays on the full path" true (k2 = Propagate.Delta.Full_rebuild)
+
+(* Random event sequences over generated topologies: the delta state
+   equals a fresh full compute at every sync point. Syncing only every
+   [lag]-th event makes single updates apply several restores and fails
+   back to back — the mix that exposed the stale-dependent bug the lag-1
+   version of this law missed. *)
+let prop_delta_equals_full =
+  QCheck.Test.make ~name:"delta after random event sequence = full compute"
+    ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+       let rng = Rng.of_int seed in
+       let g = Topo_gen.generate ~rng Topo_gen.small_params in
+       let ix = As_graph.Indexed.of_graph g in
+       let ases = As_graph.ases g in
+       let links = Array.of_list (As_graph.links g) in
+       let origin = Rng.pick rng (Array.of_list ases) in
+       let anns_of prepend =
+         [ Announcement.with_prepend prepend
+             (Announcement.originate origin (pfx "10.0.0.0/24")) ]
+       in
+       let failed = ref Link_set.empty in
+       let prepend = ref 0 in
+       let lag = 1 + Rng.int rng 4 in
+       let steps =
+         List.filteri
+           (fun i _ -> (i + 1) mod lag = 0)
+           (List.init 16 (fun _ ->
+                let roll = Rng.float rng 1.0 in
+                if roll < 0.45 then begin
+                  let a, b, _ = Rng.pick rng links in
+                  failed := Link_set.add a b !failed
+                end
+                else if roll < 0.8 then begin
+                  match Link_set.elements !failed with
+                  | [] -> ()
+                  | l ->
+                      let a, b = Rng.pick rng (Array.of_list l) in
+                      failed := Link_set.remove a b !failed
+                end
+                else prepend := (if !prepend = 0 then 2 else 0);
+                (!failed, !prepend)))
+       in
+       delta_vs_full ix ases anns_of steps)
+
+(* Frontier soundness: the reported frontier of a delta step is at least
+   the number of ASes whose stored route record — class, next hop, or
+   path length — changed. (Rendered AS paths can additionally change
+   deep downstream when an upstream node swaps to an equal-quality next
+   hop; those nodes' records are untouched and deliberately outside the
+   frontier.) *)
+let prop_delta_frontier_covers_changes =
+  QCheck.Test.make ~name:"delta frontier covers every changed route"
+    ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+       let rng = Rng.of_int seed in
+       let g = Topo_gen.generate ~rng Topo_gen.small_params in
+       let ix = As_graph.Indexed.of_graph g in
+       let ases = As_graph.ases g in
+       let links = Array.of_list (As_graph.links g) in
+       let origin = Rng.pick rng (Array.of_list ases) in
+       let anns = [ Announcement.originate origin (pfx "10.0.0.0/24") ] in
+       let a, b, _ = Rng.pick rng links in
+       let failed = Link_set.of_list [ (a, b) ] in
+       let st = Propagate.Delta.create ix in
+       let scratch = Propagate.Delta.create_scratch () in
+       let before = Propagate.copy (fst (Propagate.Delta.update st scratch anns)) in
+       let after, kind = Propagate.Delta.update st scratch ~failed anns in
+       let record outcome x =
+         ( Propagate.route_class_at outcome x,
+           Propagate.next_hop outcome x,
+           match Propagate.route_at outcome x with
+           | Some r -> List.length r.Route.as_path
+           | None -> -1 )
+       in
+       let changed =
+         List.length
+           (List.filter (fun x -> record before x <> record after x) ases)
+       in
+       match kind with
+       | Propagate.Delta.Steps { frontier; _ } -> frontier >= changed
+       | Propagate.Delta.Full_rebuild -> false)
+
 let prop_propagate_valley_free =
   QCheck.Test.make ~name:"propagation yields valley-free loop-free paths"
     ~count:15 QCheck.(int_bound 10_000)
@@ -711,9 +964,10 @@ let test_dynamics_cache_transparent () =
   check_bool "streams byte-identical" true (String.equal cached uncached);
   check_bool "cache actually used" true (cs.Dynamics.cache_hits > 0);
   check_int "uncached run has no hits" 0 us.Dynamics.cache_hits;
-  check_int "hits + recomputations = outcome requests"
-    us.Dynamics.recomputations
-    (cs.Dynamics.cache_hits + cs.Dynamics.recomputations)
+  check_int "hits + computes = outcome requests"
+    (us.Dynamics.full_recomputations + us.Dynamics.delta_steps)
+    (cs.Dynamics.cache_hits + cs.Dynamics.full_recomputations
+     + cs.Dynamics.delta_steps)
 
 let prop_dynamics_cache_identical =
   QCheck.Test.make ~name:"cache on/off streams identical across seeds"
@@ -729,6 +983,60 @@ let prop_dynamics_cache_identical =
        let cached, _ = run 32 in
        let uncached, _ = run 0 in
        String.equal cached uncached)
+
+(* The delta engine is a pure reimplementation of propagation: same seed,
+   byte-identical stream with delta repair on and off (and the delta run
+   must actually take delta steps for the claim to mean anything). *)
+let test_dynamics_delta_transparent () =
+  let run delta_states =
+    let rng, world = small_world 13 in
+    dynamics_stream
+      { tiny_config with
+        Dynamics.route_cache_size = 0; delta_states }
+      world rng
+  in
+  let on, s_on = run 4096 in
+  let off, s_off = run 0 in
+  check_bool "streams byte-identical" true (String.equal on off);
+  check_bool "delta steps taken" true (s_on.Dynamics.delta_steps > 0);
+  check_int "delta-off runs everything full" 0 s_off.Dynamics.delta_steps;
+  check_bool "delta replaces full recomputes" true
+    (s_on.Dynamics.full_recomputations < s_off.Dynamics.full_recomputations);
+  check_int "engines agree on request count"
+    s_off.Dynamics.full_recomputations
+    (s_on.Dynamics.full_recomputations + s_on.Dynamics.delta_steps)
+
+(* A tiny delta-state LRU forces evictions and cold rebuilds mid-run;
+   the stream must not care. *)
+let test_dynamics_delta_eviction_transparent () =
+  let run delta_states =
+    let rng, world = small_world 17 in
+    dynamics_stream
+      { tiny_config with Dynamics.route_cache_size = 0; delta_states }
+      world rng
+  in
+  let tiny, s_tiny = run 2 in
+  let big, _ = run 4096 in
+  check_bool "streams byte-identical under eviction pressure" true
+    (String.equal tiny big);
+  check_bool "evictions actually happened (cold rebuilds beyond seeding)"
+    true
+    (s_tiny.Dynamics.full_recomputations > 0)
+
+let prop_dynamics_delta_identical =
+  QCheck.Test.make ~name:"delta on/off streams identical across seeds"
+    ~count:5
+    QCheck.(int_bound 1000)
+    (fun seed ->
+       let run delta_states =
+         let rng, world = small_world seed in
+         dynamics_stream
+           { tiny_config with Dynamics.route_cache_size = 0; delta_states }
+           world rng
+       in
+       let on, _ = run 4096 in
+       let off, _ = run 0 in
+       String.equal on off)
 
 (* Property: the reset filter never drops anything from a burst-free
    stream (sparse updates across many prefixes). *)
@@ -871,9 +1179,24 @@ let () =
          Alcotest.test_case "candidates" `Quick test_propagate_candidates;
          Alcotest.test_case "rejects empty" `Quick test_propagate_rejects;
          Alcotest.test_case "workspace clobbers retained outcome" `Quick
-           test_workspace_clobbers_retained_outcome ]
+           test_workspace_clobbers_retained_outcome;
+         Alcotest.test_case "copy owns its arrays" `Quick test_copy_owns_arrays;
+         Alcotest.test_case "workspace+copy allocation bound" `Quick
+           test_workspace_copy_alloc_bound ]
        @ qsuite [ prop_propagate_valley_free; prop_propagate_connected_coverage;
                   prop_propagate_failure_valley_free ]);
+      ("delta",
+       [ Alcotest.test_case "matches full on diamond sequence" `Quick
+           test_delta_matches_full_diamond;
+         Alcotest.test_case "stop-early off-tree" `Quick
+           test_delta_stop_early_off_tree;
+         Alcotest.test_case "restore creates routes" `Quick
+           test_delta_restore_creates_route;
+         Alcotest.test_case "restore class-up/len-up re-selects dependents"
+           `Quick test_delta_restore_class_up_len_up;
+         Alcotest.test_case "unsupported shapes fall back" `Quick
+           test_delta_unsupported_falls_back ]
+       @ qsuite [ prop_delta_equals_full; prop_delta_frontier_covers_changes ]);
       ("mrt",
        [ Alcotest.test_case "roundtrip" `Quick test_mrt_roundtrip;
          Alcotest.test_case "long AS path" `Quick test_mrt_long_as_path;
@@ -915,5 +1238,9 @@ let () =
          Alcotest.test_case "reverts past horizon" `Quick
            test_dynamics_reverts_past_horizon;
          Alcotest.test_case "cache transparent" `Quick
-           test_dynamics_cache_transparent ]
-       @ qsuite [ prop_dynamics_cache_identical ]) ]
+           test_dynamics_cache_transparent;
+         Alcotest.test_case "delta transparent" `Quick
+           test_dynamics_delta_transparent;
+         Alcotest.test_case "delta eviction transparent" `Quick
+           test_dynamics_delta_eviction_transparent ]
+       @ qsuite [ prop_dynamics_cache_identical; prop_dynamics_delta_identical ]) ]

@@ -283,9 +283,17 @@ let test_registry_matches_legacy_stats () =
   check_int "dynamics.updates_emitted pins the stream size"
     d.Dynamics.updates_emitted
     (counter_value "dynamics.updates_emitted");
-  check_int "dynamics.recomputations pins recomputations"
-    d.Dynamics.recomputations
-    (counter_value "dynamics.recomputations");
+  check_int "dynamics.full_recomputations pins full recomputes"
+    d.Dynamics.full_recomputations
+    (counter_value "dynamics.full_recomputations");
+  check_int "dynamics.delta_steps pins delta steps" d.Dynamics.delta_steps
+    (counter_value "dynamics.delta_steps");
+  check_int "hits + full + delta pin the outcome request total"
+    (d.Dynamics.cache_hits + d.Dynamics.full_recomputations
+     + d.Dynamics.delta_steps)
+    (counter_value "route_cache.hits"
+     + counter_value "dynamics.full_recomputations"
+     + counter_value "dynamics.delta_steps");
   match m.Measurement.filter_stats with
   | None -> Alcotest.fail "session-reset filter expected on by default"
   | Some f ->
@@ -358,30 +366,33 @@ let golden = {gold|{
 "counters": {
   "attack.hijack.runs": 0,
   "attack.interception.runs": 0,
-  "dynamics.announces": 23123,
+  "dynamics.announces": 24019,
   "dynamics.churn_events": 717,
-  "dynamics.post_horizon_dropped": 126,
-  "dynamics.recomputations": 10449,
-  "dynamics.updates_emitted": 29786,
-  "dynamics.withdraws": 6663,
+  "dynamics.delta_steps": 10768,
+  "dynamics.delta_stop_early": 23470,
+  "dynamics.full_recomputations": 220,
+  "dynamics.post_horizon_dropped": 9,
+  "dynamics.updates_emitted": 31181,
+  "dynamics.withdraws": 7162,
   "exec.chunks": <jobs-dependent>,
   "exec.sweeps": 1,
-  "measurement.cells": 3998,
-  "measurement.updates": 28215,
+  "measurement.cells": 3985,
+  "measurement.updates": 29755,
   "obs.spans": 0,
-  "route_cache.evictions": 9937,
-  "route_cache.hits": 47,
-  "route_cache.misses": 10449,
+  "route_cache.evictions": 10476,
+  "route_cache.hits": 3,
+  "route_cache.misses": 10988,
   "scenario.builds": 1,
   "session_reset.bursts": 4,
-  "session_reset.dropped": 1571,
-  "session_reset.passed": 28215,
-  "session_reset.pushed": 29786
+  "session_reset.dropped": 1426,
+  "session_reset.passed": 29755,
+  "session_reset.pushed": 31181
 },
 "gauges": {
   "exec.jobs": <jobs-dependent>
 },
 "histograms": {
+  "dynamics.delta_frontier": {"count": 10768, <timing and buckets masked>,
   "exec.busy_seconds": {"count": 1, <timing and buckets masked>,
   "exec.sweep_seconds": {"count": 1, <timing and buckets masked>,
   "exec.wait_seconds": {"count": 1, <timing and buckets masked>

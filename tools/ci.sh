@@ -8,18 +8,19 @@
 #                         alias (check_mli.sh hygiene gate, quicksand
 #                         lint --fail-on error, conformance smoke);
 #   3. quicksand lint --fail-on warning
-#                       — the full rule registry on the Small scenario.
-#                         QS104 (tier-sanity) is excluded: the synthetic
-#                         topology generator legitimately emits a few
-#                         customer-less transit ASes at Small scale, a
-#                         known generator artefact, and CI must fail only
-#                         on regressions;
+#                       — the full rule registry on the Small scenario,
+#                         no exclusions (the generator's orphan-transit
+#                         adoption pass keeps QS104 clean);
 #   4. quicksand check --suite conform
 #                       — the streaming invariant checker over half a
 #                         simulated day;
 #   5. quicksand check --suite static
 #                       — the dynamic-vs-static soundness oracle across
-#                         5 seeds.
+#                         5 seeds;
+#   6. quicksand check --suite delta
+#                       — delta-vs-full propagation equivalence: byte-
+#                         identical update streams and final tables
+#                         across 5 seeds, cache on/off, jobs 1 vs 4.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -30,8 +31,7 @@ echo "== dune runtest"
 dune runtest
 
 echo "== quicksand lint --fail-on warning (Small, seed 1)"
-dune exec bin/quicksand.exe -- lint --scale small --seed 1 --fail-on warning \
-  --rules QS001,QS002,QS003,QS101,QS102,QS103,QS201,QS202,QS203,QS204,QS301,QS302,QS303,QS304,QS305,QS306,QS401,QS402,QS403,QS404
+dune exec bin/quicksand.exe -- lint --scale small --seed 1 --fail-on warning
 
 echo "== quicksand check --suite conform (Small, seed 1, half a day)"
 dune exec bin/quicksand.exe -- check --suite conform --scale small --seed 1 \
@@ -39,5 +39,8 @@ dune exec bin/quicksand.exe -- check --suite conform --scale small --seed 1 \
 
 echo "== quicksand check --suite static (Small, 5 seeds)"
 dune exec bin/quicksand.exe -- check --suite static --scale small
+
+echo "== quicksand check --suite delta (Small, 5 seeds)"
+dune exec bin/quicksand.exe -- check --suite delta --scale small
 
 echo "CI OK"
