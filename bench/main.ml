@@ -490,6 +490,33 @@ let () =
     let series_b = Array.init 256 (fun i -> float_of_int ((i * 17) mod 89)) in
     let cmeasure = Measurement.run ~dynamics:Dynamics.short_config small in
     let addr = Ipv4.of_string "1.2.3.4" in
+    (* A churny synthetic feed for the qs_serve hot path: 64 keys cycling
+       through announces and withdrawals over a sub-window timescale, so
+       the ring rolls, timers arm and evictions fire inside the kernel. *)
+    let serve_feed =
+      let session = { Update.collector = "rrc00"; peer = Asn.of_int 64512 } in
+      let prefixes =
+        Array.init 64 (fun i ->
+            Prefix.make (Ipv4.of_int_trunc (0x0A000000 + (i * 65536))) 16)
+      in
+      let paths =
+        [| [ Asn.of_int 1; Asn.of_int 2 ];
+           [ Asn.of_int 3; Asn.of_int 1; Asn.of_int 2 ];
+           [ Asn.of_int 4; Asn.of_int 2 ];
+           [ Asn.of_int 5; Asn.of_int 4; Asn.of_int 2 ] |]
+      in
+      Array.init 2048 (fun i ->
+          let time = float_of_int i in
+          let p = prefixes.(i mod 64) in
+          if i mod 7 = 0 then
+            { Update.time; session; kind = Update.Withdraw p }
+          else
+            { Update.time; session;
+              kind = Update.Announce (Route.make p paths.(i mod 4)) })
+    in
+    let serve_window =
+      { Window.window = 120.; bucket = 60.; threshold = 60. }
+    in
     let tests =
       Test.make_grouped ~name:"quicksand"
         [ Test.make ~name:"T1-tor-prefix-mapping"
@@ -522,7 +549,32 @@ let () =
           Test.make ~name:"substrate-lpm"
             (Staged.stage (fun () -> Prefix_trie.longest_match addr trie));
           Test.make ~name:"substrate-mrt-decode"
-            (Staged.stage (fun () -> Mrt.decode mrt_blob)) ]
+            (Staged.stage (fun () -> Mrt.decode mrt_blob));
+          (* The streaming service's sustained-ingestion kernels: 2048
+             updates per run, so updates/sec = 2048 / time-per-run. *)
+          Test.make ~name:"S1-serve-window-apply"
+            (Staged.stage (fun () ->
+                 let w =
+                   Window.create ~config:serve_window
+                     ~watched:(fun _ -> true) ()
+                 in
+                 Array.iter
+                   (fun u -> ignore (Window.apply w u : Event.t list))
+                   serve_feed));
+          Test.make ~name:"S1-serve-ingest-pipeline"
+            (Staged.stage (fun () ->
+                 let i = Ingest.create () in
+                 let w =
+                   Window.create ~config:serve_window
+                     ~watched:(fun _ -> true) ()
+                 in
+                 let apply u = ignore (Window.apply w u : Event.t list) in
+                 Array.iter
+                   (fun u ->
+                      ignore (Ingest.push i u : Ingest.push_result);
+                      List.iter apply (Ingest.ready i))
+                   serve_feed;
+                 List.iter apply (Ingest.flush i))) ]
     in
     let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
     let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in

@@ -656,6 +656,224 @@ let surface_cmd =
     Term.(const run $ seed $ scale $ n_pairs $ n_adversaries $ json_flag
           $ jobs $ obs_opts)
 
+let serve_cmd =
+  let run seed scale days window bucket threshold slack queue chunk attacks
+      replay mrt_file collector events verify quiet jobs obs =
+    if replay && mrt_file <> None then begin
+      Format.eprintf "quicksand: --replay and --mrt are mutually exclusive@.";
+      Stdlib.exit 2
+    end;
+    let config =
+      { Serve.Config.default with
+        Serve.Config.window; bucket; threshold; slack;
+        capacity = queue; chunk }
+    in
+    (* An event sink per --events: "-" streams JSON lines to stdout (left
+       open); a path gets its own channel, closed after the serve loop
+       has closed the sink. *)
+    let sinks_of () =
+      match events with
+      | None -> ([], fun () -> ())
+      | Some "-" -> ([ Sink.jsonl ~name:"stdout" stdout ], fun () -> flush stdout)
+      | Some path ->
+          let oc = open_out path in
+          ( [ Sink.jsonl ~name:path oc ],
+            fun () ->
+              close_out oc;
+              Format.eprintf "wrote %s@." path )
+    in
+    let print_alerts alerts =
+      List.iter (fun a -> Format.printf "%a@." Alert.pp a) alerts
+    in
+    let code =
+      with_obs obs (fun () ->
+          match mrt_file with
+          | Some path ->
+              (* Live mode: decode a recorded MRT feed and stream it
+                 through the service. No scenario, so no baselines — the
+                 window accumulates and the detectors watch, but the
+                 extra-AS rule (which needs a time-0 table) stays idle. *)
+              let data = In_channel.with_open_bin path In_channel.input_all in
+              with_exec ~show_stats:false jobs (fun exec ->
+                  let updates =
+                    Ingest.decode_mrt ~chunk:config.Serve.Config.chunk
+                      ~collector ~exec data
+                  in
+                  let sinks, finish = sinks_of () in
+                  let t =
+                    Serve.create ~config ~watched:(fun _ -> true) ~sinks
+                      ~exec ()
+                  in
+                  List.iter (Serve.offer t) updates;
+                  let horizon =
+                    List.fold_left
+                      (fun acc (u : Update.t) -> Float.max acc u.Update.time)
+                      0. updates
+                  in
+                  let violations = Serve.drain t ~horizon in
+                  finish ();
+                  if not quiet then begin
+                    Format.printf "decoded %d updates from %s@."
+                      (List.length updates) path;
+                    Format.printf "%a@.%a@." Ingest.pp_stats
+                      (Ingest.stats (Serve.ingest t))
+                      Window.pp_stats
+                      (Window.stats (Serve.window t));
+                    print_alerts (Serve.alerts t)
+                  end;
+                  if violations <> [] then 1 else 0)
+          | None ->
+              let s = build_scenario seed scale in
+              (* Lint the effective config against the scenario before
+                 anything runs: QS307 failures here are config typos, not
+                 simulation bugs. *)
+              let diags = Serve_lint.check ~scenario:s (Serve.Config.view config) in
+              if diags <> [] then begin
+                Diag.report_text fmt diags;
+                2
+              end
+              else begin
+                let dynamics = dynamics_for days in
+                let extra_updates =
+                  if attacks <= 0 then []
+                  else begin
+                    let rng = Scenario.rng_for s "serve" in
+                    let atk, extras =
+                      Countermeasures.inject_hijacks ~rng ~n_attacks:attacks
+                        ~duration:dynamics.Dynamics.duration s
+                    in
+                    if not quiet then
+                      Format.printf "injecting %d attack announcement(s)@."
+                        (List.length atk);
+                    extras
+                  end
+                in
+                with_exec ~show_stats:false jobs (fun exec ->
+                    let sinks, finish = sinks_of () in
+                    let r =
+                      Serve.replay ~dynamics ~extra_updates ~sinks ~config
+                        ~exec s
+                    in
+                    finish ();
+                    if not quiet then begin
+                      Format.printf "%a@." Serve.pp_replay_summary r;
+                      print_alerts r.Serve.r_alerts
+                    end;
+                    let fail = ref (r.Serve.r_violations <> []) in
+                    if verify then begin
+                      let m, batch =
+                        Serve.batch_alerts ~dynamics ~extra_updates
+                          ~learning_period:
+                            config.Serve.Config.learning_period s
+                      in
+                      let issues = Serve.diff_against_batch r m batch in
+                      List.iter
+                        (fun i -> Format.printf "verify: DIFF %s@." i)
+                        issues;
+                      if issues = [] then
+                        Format.printf
+                          "verify: streaming = batch (%d alerts, %d cells)@."
+                          (List.length r.Serve.r_alerts)
+                          (List.length r.Serve.r_cells)
+                      else fail := true;
+                      (* The rendered §4 analyses must agree byte-for-byte
+                         too; both cell lists are canonically sorted first
+                         because the busiest-cell tie-break is otherwise
+                         order-sensitive. *)
+                      let render cells =
+                        let m' = { m with Measurement.cells } in
+                        Format.asprintf "%a%a" Path_changes.print
+                          (Path_changes.compute ~exec m')
+                          As_exposure.print
+                          (As_exposure.compute
+                             ~threshold:config.Serve.Config.threshold ~exec m')
+                      in
+                      let batch_render =
+                        render (Serve.sort_cells m.Measurement.cells)
+                      in
+                      let serve_render = render r.Serve.r_cells in
+                      if String.equal batch_render serve_render then
+                        Format.printf
+                          "verify: F3L/F3R renders byte-identical@."
+                      else begin
+                        Format.printf "verify: F3L/F3R renders DIFFER@.";
+                        fail := true
+                      end
+                    end;
+                    if !fail then 1 else 0)
+              end)
+    in
+    if code <> 0 then Stdlib.exit code
+  in
+  let window =
+    Arg.(value & opt float 3600. & info [ "window" ] ~docv:"SECONDS"
+           ~doc:"Sliding-window span for rolling path-change state.")
+  in
+  let bucket =
+    Arg.(value & opt float 60. & info [ "bucket" ] ~docv:"SECONDS"
+           ~doc:"Ring-buffer bucket width; must divide the window.")
+  in
+  let threshold =
+    Arg.(value & opt float 300. & info [ "threshold" ] ~docv:"SECONDS"
+           ~doc:"Contiguous-residency threshold for extra-AS alerts (must \
+                 lie within the window).")
+  in
+  let slack =
+    Arg.(value & opt float 120. & info [ "slack" ] ~docv:"SECONDS"
+           ~doc:"Out-of-order tolerance: updates older than the watermark \
+                 (newest seen minus slack) are dropped and counted.")
+  in
+  let queue =
+    Arg.(value & opt int 65536 & info [ "queue" ] ~docv:"N"
+           ~doc:"Ingest queue bound; overflow drops are counted, never \
+                 silent.")
+  in
+  let chunk =
+    Arg.(value & opt int 512 & info [ "chunk" ] ~docv:"N"
+           ~doc:"Batch size for event rendering and MRT decoding.")
+  in
+  let attacks =
+    Arg.(value & opt int 0 & info [ "attacks" ] ~docv:"N"
+           ~doc:"Inject $(docv) guard-prefix attack announcements into the \
+                 replay (as the §5 monitoring experiment does).")
+  in
+  let replay =
+    Arg.(value & flag & info [ "replay" ]
+           ~doc:"Replay a seeded simulated measurement period through the \
+                 live service (the default mode; incompatible with \
+                 $(b,--mrt)).")
+  in
+  let mrt_file =
+    Arg.(value & opt (some string) None & info [ "mrt" ] ~docv:"FILE"
+           ~doc:"Stream a recorded MRT update file (e.g. from \
+                 $(b,quicksand mrt-dump)) instead of replaying a scenario.")
+  in
+  let collector =
+    Arg.(value & opt string "mrt" & info [ "collector" ] ~docv:"NAME"
+           ~doc:"Collector name attached to updates decoded from --mrt.")
+  in
+  let events =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+           ~doc:"Write the event stream as JSON lines to $(docv) ($(b,-) \
+                 for stdout).")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify-batch" ]
+           ~doc:"Also run the batch pipeline over the same feed and demand \
+                 exact agreement: alert-for-alert, cell-for-cell \
+                 (bit-equal floats), and byte-identical F3L/F3R renders.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the text summary.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Streaming exposure monitor: bounded sliding windows and live \
+             C1c alerting over a continuous update feed")
+    Term.(const run $ seed $ scale $ days $ window $ bucket $ threshold
+          $ slack $ queue $ chunk $ attacks $ replay $ mrt_file $ collector
+          $ events $ verify $ quiet $ jobs $ obs_opts)
+
 let check_cmd =
   let run seed scale suite seeds days json obs =
     let failed = ref false in
@@ -772,4 +990,4 @@ let () =
             compromise_cmd; asym_cmd; hijack_cmd; intercept_cmd; defend_cmd;
             rov_cmd; asymmetry_cmd; long_term_cmd;
             topology_cmd; consensus_cmd; mrt_cmd; lint_cmd; surface_cmd;
-            check_cmd ]))
+            serve_cmd; check_cmd ]))

@@ -138,6 +138,67 @@ let push t u =
   end;
   s.last_time <- now
 
+(* Global clock tick: release, across every session, the buffered updates
+   old enough that no burst could still claim them. [push] only releases a
+   session's buffer when that same session speaks again, so a quiet
+   session can hold a straggler for hours — fine for batch consumers
+   (per-key statistics ignore cross-key order) but fatal for a streaming
+   consumer whose reorder slack is bounded. Driving the filter with
+   [advance now] on every input update bounds the emission delay by
+   [window] and makes the downstream stream globally time-ordered.
+
+   Per-session semantics are exactly unchanged: a tick releases only
+   updates that the session's own next push would release anyway (both
+   paths use the [time < now - window] rule and input time is globally
+   non-decreasing), so burst detection sees identical window contents and
+   every update is passed or dropped exactly as without ticks — the
+   regression suite pins this. Due updates are emitted in the same
+   (time, session, position) order [flush] uses. *)
+let advance t now =
+  let horizon = now -. t.config.window in
+  let any_due =
+    Hashtbl.fold
+      (fun _ s due ->
+         due
+         || (match Queue.peek_opt s.buffer with
+             | Some u -> u.Update.time < horizon
+             | None -> false))
+      t.sessions false
+  in
+  if any_due then begin
+    let due =
+      Hashtbl.fold
+        (fun _ s acc ->
+           let taken = ref acc and i = ref 0 in
+           let rec loop () =
+             match Queue.peek_opt s.buffer with
+             | Some u when u.Update.time < horizon ->
+                 ignore (Queue.pop s.buffer);
+                 window_remove s u;
+                 taken := (u, s.id, !i) :: !taken;
+                 incr i;
+                 loop ()
+             | Some _ | None -> ()
+           in
+           loop ();
+           !taken)
+        t.sessions []
+    in
+    due
+    |> List.sort (fun ((a : Update.t), sa, ia) ((b : Update.t), sb, ib) ->
+        match Float.compare a.Update.time b.Update.time with
+        | 0 ->
+            (match Update.session_compare sa sb with
+             | 0 -> Int.compare ia ib
+             | c -> c)
+        | c -> c)
+    |> List.iter
+         (fun (u, _, _) ->
+            t.emit u;
+            t.passed <- t.passed + 1;
+            Metrics.incr m_passed)
+  end
+
 (* End-of-stream emission must preserve the global time order every other
    emission path respects: a per-session [Hashtbl.iter] would interleave
    whole session buffers in hash order, making downstream observers see

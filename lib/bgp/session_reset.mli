@@ -46,6 +46,19 @@ val preload_table : t -> Update.session_id -> int -> unit
     start (from the initial RIB), so early resets are sized correctly. *)
 
 val push : t -> Update.t -> unit
+
+val advance : t -> float -> unit
+(** Global clock tick: emit, across {e all} sessions, every buffered
+    update older than [now - window], in global (time, session, position)
+    order. [push] alone only releases a session's buffer when that session
+    speaks again, so a quiet session can hold a straggler for hours;
+    calling [advance u.time] before every push bounds the emission delay
+    by [window] and makes the downstream stream globally time-ordered —
+    what a streaming consumer with bounded reorder slack needs.
+    Per-session pass/drop decisions are exactly unchanged: a tick releases
+    only what the session's own next push would release anyway. Input time
+    must be globally non-decreasing. *)
+
 val flush : t -> unit
 (** Emits everything still buffered, across all sessions, in global
     (time, session) order. Call exactly once, at end of stream. *)

@@ -225,15 +225,15 @@ type monitoring_eval = {
   mean_detection_delay : float;
 }
 
-let monitoring ~rng ?(n_attacks = 6) ?(dynamics = Dynamics.short_config)
-    (scenario : Scenario.t) =
+(* Inject attacks in the second half so the monitor has a baseline. The
+   helper is shared with the [Qs_serve] replay/verify path, which needs
+   the {e same} injected update set for its batch and streaming arms. *)
+let inject_hijacks ~rng ?(n_attacks = 6) ~duration (scenario : Scenario.t) =
   let indexed = scenario.Scenario.indexed in
-  let duration = dynamics.Dynamics.duration in
   let sessions = Scenario.sessions scenario in
   let tor_entries = Tor_prefix.entries scenario.Scenario.tor_prefixes in
   let entries = Array.of_list tor_entries in
   let ases = Array.of_list (As_graph.ases scenario.Scenario.graph) in
-  (* Inject attacks in the second half so the monitor has a baseline. *)
   let attacks =
     List.init n_attacks (fun _ ->
         let e = Rng.pick rng entries in
@@ -270,6 +270,14 @@ let monitoring ~rng ?(n_attacks = 6) ?(dynamics = Dynamics.short_config)
            sessions)
       attacks
     |> List.sort (fun a b -> Float.compare a.Update.time b.Update.time)
+  in
+  (attacks, extra_updates)
+
+let monitoring ~rng ?(n_attacks = 6) ?(dynamics = Dynamics.short_config)
+    (scenario : Scenario.t) =
+  let duration = dynamics.Dynamics.duration in
+  let attacks, extra_updates =
+    inject_hijacks ~rng ~n_attacks ~duration scenario
   in
   let monitor = Detection.create ~learning_period:(duration /. 4.) () in
   let alarm_log = ref [] in

@@ -64,6 +64,18 @@ type monitoring_eval = {
   mean_detection_delay : float;  (** seconds from injection to first alarm *)
 }
 
+val inject_hijacks :
+  rng:Rng.t -> ?n_attacks:int -> duration:float -> Scenario.t ->
+  (Announcement.t * Asn.t * float) list * Update.t list
+(** Draws [n_attacks] (default 6) hijacks of random Tor prefixes in the
+    second half of [duration] (so a monitor has a learning baseline),
+    propagates each through the topology, and returns
+    [(victim, attacker, injection time)] ground truth plus the
+    time-sorted collector updates to splice into a measurement via
+    [Measurement.run ~extra_updates] — or into a [Qs_serve] feed, which
+    must inject the {e same} updates in both its streaming and batch
+    arms when verifying replay equivalence. *)
+
 val monitoring :
   rng:Rng.t -> ?n_attacks:int -> ?dynamics:Dynamics.config -> Scenario.t ->
   monitoring_eval

@@ -1,17 +1,5 @@
 type key = { session : Update.session_id; prefix : Prefix.t }
 
-type acc = {
-  mutable a_baseline : Asn.Set.t option;
-  mutable a_updates : int;
-  mutable a_announces : int;
-  mutable a_changes : int;
-  mutable a_current : Asn.Set.t option;
-  mutable a_since : float;
-  a_residency : (Asn.t, float) Hashtbl.t;
-  a_entered : (Asn.t, float) Hashtbl.t;  (* AS -> start of current on-path run *)
-  a_contig : (Asn.t, float) Hashtbl.t;   (* AS -> longest completed run *)
-}
-
 type cell = {
   key : key;
   baseline : Asn.Set.t option;
@@ -44,38 +32,138 @@ module Key_table = Hashtbl.Make (struct
                  + Prefix.hash k.prefix
   end)
 
-let credit_residency acc until =
-  match acc.a_current with
-  | None -> ()
-  | Some set ->
-      let dt = until -. acc.a_since in
-      if dt > 0. then
-        Asn.Set.iter
-          (fun a ->
-             let cur = Option.value ~default:0. (Hashtbl.find_opt acc.a_residency a) in
-             Hashtbl.replace acc.a_residency a (cur +. dt))
-          set
+(* The per-key accumulator is the unit both the batch pipeline below and
+   the qs_serve sliding window build on: one key's statistics depend only
+   on that key's update subsequence, so any consumer that preserves
+   per-key order reproduces the batch numbers exactly. *)
+module Acc = struct
+  type t = {
+    mutable a_baseline : Asn.Set.t option;
+    mutable a_updates : int;
+    mutable a_announces : int;
+    mutable a_changes : int;
+    mutable a_current : Asn.Set.t option;
+    mutable a_since : float;
+    a_residency : (Asn.t, float) Hashtbl.t;
+    a_entered : (Asn.t, float) Hashtbl.t; (* AS -> start of current on-path run *)
+    a_contig : (Asn.t, float) Hashtbl.t;  (* AS -> longest completed run *)
+  }
 
-let close_run acc a until =
-  match Hashtbl.find_opt acc.a_entered a with
-  | None -> ()
-  | Some start ->
-      Hashtbl.remove acc.a_entered a;
-      let run = until -. start in
-      let best = Option.value ~default:0. (Hashtbl.find_opt acc.a_contig a) in
-      if run > best then Hashtbl.replace acc.a_contig a run
+  type event = [ `First | `Same | `Changed | `Withdrawn ]
 
-(* Maintain per-AS contiguous on-path runs: an AS's run survives path
-   changes as long as the AS stays somewhere on the path; it closes the
-   moment the AS leaves (or the route is withdrawn). *)
-let track_membership acc time next =
-  let old = Option.value ~default:Asn.Set.empty acc.a_current in
-  let next = Option.value ~default:Asn.Set.empty next in
-  Asn.Set.iter (fun a -> if not (Asn.Set.mem a next) then close_run acc a time) old;
-  Asn.Set.iter
-    (fun a ->
-       if not (Hashtbl.mem acc.a_entered a) then Hashtbl.replace acc.a_entered a time)
-    next
+  let create () =
+    { a_baseline = None; a_updates = 0; a_announces = 0; a_changes = 0;
+      a_current = None; a_since = 0.;
+      a_residency = Hashtbl.create 8;
+      a_entered = Hashtbl.create 8;
+      a_contig = Hashtbl.create 8 }
+
+  let credit_residency acc until =
+    match acc.a_current with
+    | None -> ()
+    | Some set ->
+        let dt = until -. acc.a_since in
+        if dt > 0. then
+          Asn.Set.iter
+            (fun a ->
+               let cur =
+                 Option.value ~default:0. (Hashtbl.find_opt acc.a_residency a)
+               in
+               Hashtbl.replace acc.a_residency a (cur +. dt))
+            set
+
+  let close_run acc a until =
+    match Hashtbl.find_opt acc.a_entered a with
+    | None -> ()
+    | Some start ->
+        Hashtbl.remove acc.a_entered a;
+        let run = until -. start in
+        let best = Option.value ~default:0. (Hashtbl.find_opt acc.a_contig a) in
+        if run > best then Hashtbl.replace acc.a_contig a run
+
+  (* Maintain per-AS contiguous on-path runs: an AS's run survives path
+     changes as long as the AS stays somewhere on the path; it closes the
+     moment the AS leaves (or the route is withdrawn). *)
+  let track_membership acc time next =
+    let old = Option.value ~default:Asn.Set.empty acc.a_current in
+    let next = Option.value ~default:Asn.Set.empty next in
+    Asn.Set.iter
+      (fun a -> if not (Asn.Set.mem a next) then close_run acc a time) old;
+    Asn.Set.iter
+      (fun a ->
+         if not (Hashtbl.mem acc.a_entered a) then
+           Hashtbl.replace acc.a_entered a time)
+      next
+
+  let set_baseline acc set =
+    acc.a_baseline <- Some set;
+    track_membership acc 0. (Some set);
+    acc.a_current <- Some set;
+    acc.a_since <- 0.
+
+  let consume acc (u : Update.t) : event =
+    match u.Update.kind with
+    | Update.Announce route ->
+        acc.a_updates <- acc.a_updates + 1;
+        acc.a_announces <- acc.a_announces + 1;
+        let set = Route.as_set route in
+        let ev =
+          match acc.a_current with
+          | Some old when Asn.Set.equal old set -> `Same
+          | Some _ -> acc.a_changes <- acc.a_changes + 1; `Changed
+          | None -> `First
+        in
+        credit_residency acc u.Update.time;
+        track_membership acc u.Update.time (Some set);
+        acc.a_current <- Some set;
+        acc.a_since <- u.Update.time;
+        ev
+    | Update.Withdraw _ ->
+        (* A withdrawal is BGP churn like any other update; it must count. *)
+        acc.a_updates <- acc.a_updates + 1;
+        credit_residency acc u.Update.time;
+        track_membership acc u.Update.time None;
+        acc.a_current <- None;
+        acc.a_since <- u.Update.time;
+        `Withdrawn
+
+  let seal acc until =
+    credit_residency acc until;
+    let open_runs = Hashtbl.fold (fun a _ l -> a :: l) acc.a_entered [] in
+    List.iter (fun a -> close_run acc a until) open_runs
+
+  let materializes acc = acc.a_baseline <> None || acc.a_announces > 0
+
+  let cell key acc =
+    if not (materializes acc) then None
+    else
+      Some
+        { key;
+          baseline = acc.a_baseline;
+          updates = acc.a_updates;
+          path_changes = acc.a_changes;
+          residency = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_residency [];
+          contiguous = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_contig [];
+          final_set = acc.a_current }
+
+  let baseline acc = acc.a_baseline
+  let current acc = acc.a_current
+  let updates acc = acc.a_updates
+  let announces acc = acc.a_announces
+  let path_changes acc = acc.a_changes
+  let residency acc = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_residency []
+  let contiguous acc = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_contig []
+  let run_start acc a = Hashtbl.find_opt acc.a_entered a
+
+  let best_run acc a =
+    Option.value ~default:0. (Hashtbl.find_opt acc.a_contig a)
+
+  let longest_run acc ~at a =
+    let closed = best_run acc a in
+    match run_start acc a with
+    | None -> closed
+    | Some start -> Float.max closed (at -. start)
+end
 
 (* Registry mirrors: one bulk add per [run], so counts are exact at any
    worker count and accumulate across repeated measurements. *)
@@ -91,18 +179,12 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
   Span.with_ ~name:"measurement.run" @@ fun () ->
   let n_consumed = ref 0 in
   let rng = Scenario.rng_for scenario "measurement" in
-  let table : acc Key_table.t = Key_table.create 65536 in
+  let table : Acc.t Key_table.t = Key_table.create 65536 in
   let get_acc key =
     match Key_table.find_opt table key with
     | Some a -> a
     | None ->
-        let a =
-          { a_baseline = None; a_updates = 0; a_announces = 0; a_changes = 0;
-            a_current = None; a_since = 0.;
-            a_residency = Hashtbl.create 8;
-            a_entered = Hashtbl.create 8;
-            a_contig = Hashtbl.create 8 }
-        in
+        let a = Acc.create () in
         Key_table.replace table key a;
         a
   in
@@ -110,27 +192,7 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
     incr n_consumed;
     (match observe with Some f -> f u | None -> ());
     let key = { session = u.Update.session; prefix = Update.prefix u } in
-    let acc = get_acc key in
-    match u.Update.kind with
-    | Update.Announce route ->
-        acc.a_updates <- acc.a_updates + 1;
-        acc.a_announces <- acc.a_announces + 1;
-        let set = Route.as_set route in
-        (match acc.a_current with
-         | Some old when Asn.Set.equal old set -> ()
-         | Some _ -> acc.a_changes <- acc.a_changes + 1
-         | None -> ());
-        credit_residency acc u.Update.time;
-        track_membership acc u.Update.time (Some set);
-        acc.a_current <- Some set;
-        acc.a_since <- u.Update.time
-    | Update.Withdraw _ ->
-        (* A withdrawal is BGP churn like any other update; it must count. *)
-        acc.a_updates <- acc.a_updates + 1;
-        credit_residency acc u.Update.time;
-        track_membership acc u.Update.time None;
-        acc.a_current <- None;
-        acc.a_since <- u.Update.time
+    ignore (Acc.consume (get_acc key) u : Acc.event)
   in
   (* Merge the (time-sorted) attack updates into the stream. *)
   let pending_extra = ref extra_updates in
@@ -153,9 +215,17 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
     if no_filter then None
     else Some (Session_reset.create ?config:filter ~emit:downstream ())
   in
+  (* Tick the filter with the input clock before each push: emission
+     delay becomes bounded by the filter window and the post-filter
+     stream comes out globally time-ordered — so [observe] monitors and
+     the qs_serve streaming arm see the same well-ordered feed, while
+     per-session pass/drop decisions stay exactly as without ticks. *)
   let emit =
     match filter_state with
-    | Some f -> Session_reset.push f
+    | Some f ->
+        fun (u : Update.t) ->
+          Session_reset.advance f u.Update.time;
+          Session_reset.push f u
     | None -> downstream
   in
   (* Baselines and reset-filter table sizes come from the time-0 tables,
@@ -170,11 +240,7 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
          Prefix.Map.iter
            (fun prefix route ->
               let acc = get_acc { session; prefix } in
-              let set = Route.as_set route in
-              acc.a_baseline <- Some set;
-              track_membership acc 0. (Some set);
-              acc.a_current <- Some set;
-              acc.a_since <- 0.)
+              Acc.set_baseline acc (Route.as_set route))
            table0)
       initial
   in
@@ -193,24 +259,18 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
          (* A key that only ever saw withdrawals carries no routing state:
             no baseline, no route, nothing a collector could measure.
             Materializing it would skew per-cell counts, so drop it. *)
-         if acc.a_baseline = None && acc.a_announces = 0 then out
-         else begin
-           credit_residency acc duration;
-           let open_runs =
-             Hashtbl.fold (fun a _ l -> a :: l) acc.a_entered []
-           in
-           List.iter (fun a -> close_run acc a duration) open_runs;
-           let cur = Option.value ~default:0 (Prefix.Table.find_opt visibility key.prefix) in
-           Prefix.Table.replace visibility key.prefix (cur + 1);
-           { key;
-             baseline = acc.a_baseline;
-             updates = acc.a_updates;
-             path_changes = acc.a_changes;
-             residency = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_residency [];
-             contiguous = Hashtbl.fold (fun a d l -> (a, d) :: l) acc.a_contig [];
-             final_set = acc.a_current }
-           :: out
-         end)
+         match
+           (if Acc.materializes acc then Acc.seal acc duration);
+           Acc.cell key acc
+         with
+         | None -> out
+         | Some cell ->
+             let cur =
+               Option.value ~default:0
+                 (Prefix.Table.find_opt visibility key.prefix)
+             in
+             Prefix.Table.replace visibility key.prefix (cur + 1);
+             cell :: out)
       table []
   in
   Metrics.add m_updates !n_consumed;

@@ -32,6 +32,69 @@ type cell = {
     at time 0 or at least one announcement. A key that only ever saw
     withdrawals is not materialized. *)
 
+module Key_table : Hashtbl.S with type key = key
+(** Hash tables over measurement keys — shared with the [Qs_serve]
+    sliding window so both sides key state identically. *)
+
+(** Incremental per-key accumulator — the unit the batch pipeline below
+    and the [Qs_serve] sliding window both build on. A key's statistics
+    depend only on that key's update subsequence, so any consumer that
+    preserves per-key time order reproduces the batch numbers exactly
+    (path changes, residency, longest contiguous runs are all computed by
+    the same code). *)
+module Acc : sig
+  type t
+
+  type event = [ `First | `Same | `Changed | `Withdrawn ]
+  (** What one update did to the key: first-ever announcement, re-announce
+      with an identical AS set, a path change, or a withdrawal. *)
+
+  val create : unit -> t
+
+  val set_baseline : t -> Asn.Set.t -> unit
+  (** Register the time-0 table route: sets the baseline AS set, the
+      current path, and starts contiguous runs at t = 0. Call before any
+      update flows. *)
+
+  val consume : t -> Update.t -> event
+  (** Feed one update (per-key time order). Counts it, credits residency
+      up to the update's time, and maintains contiguous-run state. *)
+
+  val seal : t -> float -> unit
+  (** Close the accumulator at a horizon: credit residency up to it and
+      close every open run. Call exactly once, then read {!cell}. *)
+
+  val cell : key -> t -> cell option
+  (** Materialize; [None] for a withdraw-only key (no baseline and no
+      announcement — nothing a collector could measure). *)
+
+  val baseline : t -> Asn.Set.t option
+  val current : t -> Asn.Set.t option
+  val updates : t -> int
+  val announces : t -> int
+  val path_changes : t -> int
+
+  val residency : t -> (Asn.t * float) list
+  (** Per-AS cumulative residency credited so far (unsealed: excludes the
+      open span since the last update), in unspecified order. *)
+
+  val contiguous : t -> (Asn.t * float) list
+  (** Per-AS longest {e completed} run so far (unsealed), in unspecified
+      order. A windowed consumer merges these across a key's lives with
+      per-AS [max] — runs never span a withdrawal, so the global longest
+      run is the max over lives. *)
+
+  val run_start : t -> Asn.t -> float option
+  (** Start time of the AS's current on-path run, if it is on the path. *)
+
+  val best_run : t -> Asn.t -> float
+  (** Longest {e completed} contiguous run for the AS (0 if none). *)
+
+  val longest_run : t -> at:float -> Asn.t -> float
+  (** Longest contiguous run counting the still-open one as if it closed
+      at [at] — what a threshold query at time [at] must compare against. *)
+end
+
 type t = {
   scenario : Scenario.t;
   duration : float;

@@ -1,0 +1,114 @@
+let serve_config_invalid =
+  { Diag.code = "QS307"; slug = "serve-config-invalid";
+    severity = Diag.Error;
+    doc = "a quicksand-serve configuration is internally inconsistent or \
+           monitors prefixes the scenario does not announce";
+    explain =
+      "The serve subsystem's correctness argument leans on three static \
+       relations between its knobs: the window must be a positive \
+       multiple of the bucket width (the ring buffer has exactly \
+       window/bucket slots, so a remainder would silently shrink the \
+       window); the extra-AS threshold must lie within (0, window] (a \
+       threshold beyond the window could let a key be evicted before a \
+       satisfiable alert timer fires, breaking the streaming = batch \
+       equivalence the replay verifier enforces); and the ingest queue \
+       and decode chunk must be positive with chunk <= capacity (a chunk \
+       larger than the queue would overflow on every refill). Monitored \
+       (client prefix, guard prefix) pairs must also name prefixes the \
+       scenario actually announces — a typo'd prefix would make the \
+       monitor silently watch nothing. Typical causes: hand-edited CLI \
+       flags, or a scenario regenerated under a different seed than the \
+       monitoring config was written for." }
+
+let rules = [ serve_config_invalid ]
+
+type config_view = {
+  window : float;
+  bucket : float;
+  threshold : float;
+  slack : float;
+  capacity : int;
+  chunk : int;
+  monitored : (Prefix.t * Prefix.t) list;
+}
+
+let diag ?context fmt = Diag.msgf serve_config_invalid ?context fmt
+
+let check ?scenario (v : config_view) =
+  let structural =
+    (if v.window <= 0. || v.bucket <= 0. then
+       [ diag
+           ~context:
+             [ ("window", Printf.sprintf "%g" v.window);
+               ("bucket", Printf.sprintf "%g" v.bucket) ]
+           "window and bucket width must be positive" ]
+     else
+       let k = Float.round (v.window /. v.bucket) in
+       if k < 1. || Float.abs ((k *. v.bucket) -. v.window) > 1e-6 *. v.window
+       then
+         [ diag
+             ~context:
+               [ ("window", Printf.sprintf "%g" v.window);
+                 ("bucket", Printf.sprintf "%g" v.bucket) ]
+             "window must be a positive multiple of the bucket width" ]
+       else [])
+    @ (if v.threshold <= 0. || (v.window > 0. && v.threshold > v.window) then
+         [ diag
+             ~context:
+               [ ("threshold", Printf.sprintf "%g" v.threshold);
+                 ("window", Printf.sprintf "%g" v.window) ]
+             "extra-AS threshold must lie within (0, window]" ]
+       else [])
+    @ (if v.slack < 0. then
+         [ diag
+             ~context:[ ("slack", Printf.sprintf "%g" v.slack) ]
+             "ingest slack must be non-negative" ]
+       else [])
+    @ (if v.capacity <= 0 || v.chunk <= 0 || v.chunk > v.capacity then
+         [ diag
+             ~context:
+               [ ("capacity", string_of_int v.capacity);
+                 ("chunk", string_of_int v.chunk) ]
+             "ingest queue capacity and chunk must be positive with \
+              chunk <= capacity" ]
+       else [])
+  in
+  let pairs =
+    match scenario with
+    | None -> []
+    | Some (s : Scenario.t) ->
+        let announced =
+          List.map fst (Addressing.announced s.Scenario.addressing)
+        in
+        let known p = List.exists (Prefix.equal p) announced in
+        List.concat_map
+          (fun (client, guard) ->
+             (if known client then []
+              else
+                [ diag
+                    ~context:
+                      [ ("role", "client");
+                        ("prefix", Prefix.to_string client) ]
+                    "monitored client prefix %a is not announced in the \
+                     scenario" Prefix.pp client ])
+             @ (if not (known guard) then
+                  [ diag
+                      ~context:
+                        [ ("role", "guard");
+                          ("prefix", Prefix.to_string guard) ]
+                      "monitored guard prefix %a is not announced in the \
+                       scenario" Prefix.pp guard ]
+                else if
+                  not
+                    (Tor_prefix.is_tor_prefix s.Scenario.tor_prefixes guard)
+                then
+                  [ diag
+                      ~context:
+                        [ ("role", "guard");
+                          ("prefix", Prefix.to_string guard) ]
+                      "monitored guard prefix %a hosts no Tor relay in the \
+                       scenario" Prefix.pp guard ]
+                else []))
+          v.monitored
+  in
+  structural @ pairs

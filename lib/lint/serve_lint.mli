@@ -1,0 +1,29 @@
+(** QS307: static validation of a [quicksand serve] configuration.
+
+    The serve subsystem lives above this library in the dependency order
+    (it needs [Qs_check]), so the rule operates on a dependency-free
+    {!config_view} that [Qs_serve.Serve.Config.view] produces; the CLI
+    lints its effective config at startup and [Lint.run ?serve_config]
+    folds the findings into a whole-scenario pass. *)
+
+type config_view = {
+  window : float;
+  bucket : float;
+  threshold : float;
+  slack : float;
+  capacity : int;
+  chunk : int;
+  monitored : (Prefix.t * Prefix.t) list;
+      (** (client prefix, guard prefix) pairs the service watches *)
+}
+
+val serve_config_invalid : Diag.rule
+(** [QS307-serve-config-invalid]. *)
+
+val rules : Diag.rule list
+
+val check : ?scenario:Scenario.t -> config_view -> Diag.t list
+(** Structural checks always run (window a positive multiple of bucket,
+    threshold within (0, window], slack non-negative, queue/chunk bounds);
+    with a [scenario], monitored-pair prefixes must additionally be
+    announced — and guard prefixes must host a Tor relay. *)

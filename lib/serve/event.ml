@@ -1,0 +1,110 @@
+type t =
+  | Path_change of {
+      key : Measurement.key;
+      time : float;
+      total : int;
+      in_window : int;
+    }
+  | Extra_as of {
+      key : Measurement.key;
+      time : float;
+      asn : Asn.t;
+      run : float;
+    }
+  | Evicted of {
+      key : Measurement.key;
+      time : float;
+      cell : Measurement.cell option;
+    }
+  | Alert of Alert.t
+  | Violation of { invariant : string; message : string }
+
+let time = function
+  | Path_change { time; _ } | Extra_as { time; _ } | Evicted { time; _ } ->
+      Some time
+  | Alert a -> Some a.Alert.time
+  | Violation _ -> None
+
+let label = function
+  | Path_change _ -> "path_change"
+  | Extra_as _ -> "extra_as"
+  | Evicted _ -> "evicted"
+  | Alert _ -> "alert"
+  | Violation _ -> "violation"
+
+(* Minimal RFC 8259 string escaping — same policy as Diag.report_json. *)
+let esc s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num f = Printf.sprintf "%.6f" f
+
+let key_fields (k : Measurement.key) =
+  Printf.sprintf "\"collector\":\"%s\",\"peer\":%d,\"prefix\":\"%s\""
+    (esc k.Measurement.session.Update.collector)
+    (Asn.to_int k.Measurement.session.Update.peer)
+    (esc (Prefix.to_string k.Measurement.prefix))
+
+let to_json = function
+  | Path_change { key; time; total; in_window } ->
+      Printf.sprintf
+        "{\"event\":\"path_change\",\"time\":%s,%s,\"total\":%d,\"in_window\":%d}"
+        (num time) (key_fields key) total in_window
+  | Extra_as { key; time; asn; run } ->
+      Printf.sprintf
+        "{\"event\":\"extra_as\",\"time\":%s,%s,\"asn\":%d,\"run\":%s}"
+        (num time) (key_fields key) (Asn.to_int asn) (num run)
+  | Evicted { key; time; cell } ->
+      let counts =
+        match cell with
+        | None -> "\"measured\":false"
+        | Some c ->
+            Printf.sprintf
+              "\"measured\":true,\"updates\":%d,\"path_changes\":%d"
+              c.Measurement.updates c.Measurement.path_changes
+      in
+      Printf.sprintf "{\"event\":\"evicted\",\"time\":%s,%s,%s}" (num time)
+        (key_fields key) counts
+  | Alert a ->
+      Printf.sprintf
+        "{\"event\":\"alert\",\"time\":%s,\"detector\":\"%s\",\"kind\":\"%s\",\
+         \"collector\":\"%s\",\"peer\":%d,\"prefix\":\"%s\",\"summary\":\"%s\",\
+         \"evidence\":%d}"
+        (num a.Alert.time) (esc a.Alert.detector) (esc a.Alert.kind)
+        (esc a.Alert.session.Update.collector)
+        (Asn.to_int a.Alert.session.Update.peer)
+        (esc (Prefix.to_string a.Alert.prefix))
+        (esc a.Alert.summary)
+        (List.length a.Alert.evidence)
+  | Violation { invariant; message } ->
+      Printf.sprintf
+        "{\"event\":\"violation\",\"invariant\":\"%s\",\"message\":\"%s\"}"
+        (esc invariant) (esc message)
+
+let pp ppf = function
+  | Path_change { key; time; total; in_window } ->
+      Format.fprintf ppf "%.0f path-change %a %a (total %d, window %d)" time
+        Update.pp_session key.Measurement.session Prefix.pp
+        key.Measurement.prefix total in_window
+  | Extra_as { key; time; asn; run } ->
+      Format.fprintf ppf "%.0f extra-AS %a on %a %a (run %.0f s)" time Asn.pp
+        asn Update.pp_session key.Measurement.session Prefix.pp
+        key.Measurement.prefix run
+  | Evicted { key; time; _ } ->
+      Format.fprintf ppf "%.0f evicted %a %a" time Update.pp_session
+        key.Measurement.session Prefix.pp key.Measurement.prefix
+  | Alert a -> Format.fprintf ppf "alert %a" Alert.pp a
+  | Violation { invariant; message } ->
+      Format.fprintf ppf "violation [%s] %s" invariant message

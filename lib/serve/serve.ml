@@ -1,0 +1,473 @@
+module Config = struct
+  type t = {
+    window : float;
+    bucket : float;
+    threshold : float;
+    slack : float;
+    capacity : int;
+    chunk : int;
+    learning_period : float;
+    monitored : (Prefix.t * Prefix.t) list;
+  }
+
+  let default =
+    { window = 3600.;
+      bucket = 60.;
+      threshold = 300.;
+      slack = 120.;
+      capacity = 65536;
+      chunk = 512;
+      learning_period = 21600.;
+      monitored = [] }
+
+  let view t =
+    { Serve_lint.window = t.window;
+      bucket = t.bucket;
+      threshold = t.threshold;
+      slack = t.slack;
+      capacity = t.capacity;
+      chunk = t.chunk;
+      monitored = t.monitored }
+
+  let window_config t =
+    { Window.window = t.window; bucket = t.bucket; threshold = t.threshold }
+
+  let ingest_config t = { Ingest.capacity = t.capacity; slack = t.slack }
+end
+
+(* The whole serve.* health surface registers here — one module, so one
+   reference to any [Serve] value initializes every name the manifest
+   declares (the linker only initializes referenced modules; QS306
+   cross-checks manifest and registry in both directions). *)
+let m_ingested =
+  Metrics.counter ~help:"updates offered to the serve ingest queue"
+    "serve.ingested"
+
+let m_released =
+  Metrics.counter ~help:"updates released past the watermark into the window"
+    "serve.released"
+
+let m_dropped_late =
+  Metrics.counter ~help:"updates dropped as older than the watermark"
+    "serve.dropped_late"
+
+let m_dropped_overflow =
+  Metrics.counter ~help:"updates dropped on a full ingest queue"
+    "serve.dropped_overflow"
+
+let g_queue_depth =
+  Metrics.gauge ~help:"updates currently buffered in the ingest queue"
+    "serve.queue_depth"
+
+let g_watermark_lag =
+  Metrics.gauge ~help:"seconds between the newest ingested update and the \
+                       window's watermark"
+    "serve.watermark_lag"
+
+let g_live_keys =
+  Metrics.gauge ~help:"(session, prefix) keys live in the sliding window"
+    "serve.live_keys"
+
+let g_ghost_keys =
+  Metrics.gauge ~help:"evicted keys parked as ghosts" "serve.ghost_keys"
+
+let m_evictions =
+  Metrics.counter ~help:"window evictions of dead keys" "serve.evictions"
+
+let m_events =
+  Metrics.counter ~help:"events emitted on the subscription channel"
+    "serve.events"
+
+let m_alerts = Metrics.counter ~help:"alerts raised" "serve.alerts"
+
+let m_alerts_moas =
+  Metrics.counter ~help:"MOAS alerts raised" "serve.alerts_moas"
+
+let m_alerts_subprefix =
+  Metrics.counter ~help:"sub-prefix alerts raised" "serve.alerts_subprefix"
+
+let m_alerts_adjacency =
+  Metrics.counter ~help:"origin-adjacency alerts raised"
+    "serve.alerts_adjacency"
+
+let m_violations =
+  Metrics.counter ~help:"conformance violations on the live stream"
+    "serve.violations"
+
+let h_update_seconds =
+  Metrics.histogram
+    ~help:"wall seconds per released update (batch average, timing-derived)"
+    "serve.update_seconds"
+
+let evidence_depth = 4
+
+type t = {
+  config : Config.t;
+  exec : Pool.t;
+  window : Window.t;
+  ingest : Ingest.t;
+  registry : Alert.registry;
+  conformance : Conformance.t;
+  evidence : Update.t list Prefix.Table.t;
+  mutable sinks : Sink.t list;
+  mutable pending : Event.t list;   (* newest first *)
+  mutable n_pending : int;
+  mutable alerts_log : Alert.t list; (* newest first *)
+  mutable n_events : int;
+  mutable drained : bool;
+}
+
+let create ?(config = Config.default) ?(duration = infinity)
+    ?(watched = fun _ -> true) ?(sinks = []) ~exec () =
+  (match Serve_lint.check (Config.view config) with
+   | [] -> ()
+   | d :: _ ->
+       invalid_arg
+         (Format.asprintf "Serve.create: invalid config: %a" Diag.pp d));
+  let t =
+    { config;
+      exec;
+      window = Window.create ~config:(Config.window_config config) ~watched ();
+      ingest = Ingest.create ~config:(Config.ingest_config config) ();
+      registry = Alert.registry ();
+      conformance =
+        Conformance.create ~duration ~require_global_order:true ();
+      evidence = Prefix.Table.create 1024;
+      sinks;
+      pending = [];
+      n_pending = 0;
+      alerts_log = [];
+      n_events = 0;
+      drained = false }
+  in
+  Alert.register t.registry
+    (Alert.c1c ~learning_period:config.Config.learning_period
+       ~evidence:(fun p ->
+           Option.value ~default:[] (Prefix.Table.find_opt t.evidence p))
+       ());
+  t
+
+let subscribe t sink = t.sinks <- t.sinks @ [ sink ]
+
+let alerts t = List.rev t.alerts_log
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let note_evidence t (u : Update.t) =
+  let p = Update.prefix u in
+  let old = Option.value ~default:[] (Prefix.Table.find_opt t.evidence p) in
+  Prefix.Table.replace t.evidence p (u :: take (evidence_depth - 1) old)
+
+let queue_events t evs =
+  List.iter
+    (fun e ->
+       t.pending <- e :: t.pending;
+       t.n_pending <- t.n_pending + 1;
+       t.n_events <- t.n_events + 1;
+       Metrics.incr m_events)
+    evs
+
+let flush_events t =
+  if t.n_pending > 0 then begin
+    let arr = Array.of_list (List.rev t.pending) in
+    t.pending <- [];
+    t.n_pending <- 0;
+    (* Rendering is pure per event; chunk it over the pool. Submission
+       order is preserved, so sinks see the stream in order and the
+       output is byte-identical at any worker count. *)
+    let rendered = Pool.map t.exec Event.to_json arr in
+    let batch = Array.mapi (fun i e -> (e, rendered.(i))) arr in
+    List.iter (fun s -> Sink.emit s batch) t.sinks
+  end
+
+let count_alert t (a : Alert.t) =
+  t.alerts_log <- a :: t.alerts_log;
+  Metrics.incr m_alerts;
+  match a.Alert.kind with
+  | "moas" -> Metrics.incr m_alerts_moas
+  | "subprefix" -> Metrics.incr m_alerts_subprefix
+  | "origin-adjacency" -> Metrics.incr m_alerts_adjacency
+  | _ -> ()
+
+let process_one t (u : Update.t) =
+  Metrics.incr m_released;
+  Conformance.observe t.conformance u;
+  note_evidence t u;
+  let window_events = Window.apply t.window u in
+  let alerts = Alert.observe t.registry u in
+  List.iter (count_alert t) alerts;
+  queue_events t (window_events @ List.map (fun a -> Event.Alert a) alerts)
+
+let set_gauges t =
+  let is = Ingest.stats t.ingest in
+  let ws = Window.stats t.window in
+  Metrics.set g_queue_depth (float_of_int is.Ingest.queued);
+  if is.Ingest.max_seen > neg_infinity then
+    Metrics.set g_watermark_lag
+      (Float.max 0. (is.Ingest.max_seen -. Window.watermark t.window));
+  Metrics.set g_live_keys (float_of_int ws.Window.live);
+  Metrics.set g_ghost_keys (float_of_int ws.Window.ghosts)
+
+let pump t =
+  let due = Ingest.ready t.ingest in
+  let n = List.length due in
+  if n > 0 then begin
+    let t0 = Clock.now () in
+    List.iter (process_one t) due;
+    let dt = Clock.now () -. t0 in
+    Metrics.observe h_update_seconds (dt /. float_of_int n);
+    set_gauges t;
+    if t.n_pending >= max 1 t.config.Config.chunk then flush_events t
+  end;
+  n
+
+let offer t u =
+  Metrics.incr m_ingested;
+  (match Ingest.push t.ingest u with
+   | `Accepted -> ()
+   | `Dropped_late -> Metrics.incr m_dropped_late
+   | `Dropped_overflow -> Metrics.incr m_dropped_overflow);
+  ignore (pump t : int)
+
+let drain ?initial t ~horizon =
+  if t.drained then invalid_arg "Serve.drain: already drained";
+  t.drained <- true;
+  let rest = Ingest.flush t.ingest in
+  List.iter (process_one t) rest;
+  queue_events t (Window.drain t.window ~horizon);
+  let violations = Conformance.finalize ?initial t.conformance in
+  Metrics.add m_violations (List.length violations);
+  queue_events t
+    (List.map
+       (fun (v : Conformance.violation) ->
+          Event.Violation
+            { invariant = v.Conformance.invariant;
+              message = v.Conformance.message })
+       violations);
+  (* Window evictions may have happened before this final accounting;
+     mirror the total into the registry once, at end of stream. *)
+  Metrics.add m_evictions (Window.stats t.window).Window.evictions;
+  set_gauges t;
+  flush_events t;
+  List.iter Sink.close t.sinks;
+  violations
+
+let window t = t.window
+let ingest t = t.ingest
+let events_emitted t = t.n_events
+
+(* ------------------------------------------------------------------ *)
+(* Replay: feed a simulated measurement period through the service.    *)
+
+type replay_result = {
+  r_config : Config.t;
+  r_duration : float;
+  r_cells : Measurement.cell list;
+  r_alerts : Alert.t list;
+  r_events : int;
+  r_violations : Conformance.violation list;
+  r_ingest : Ingest.stats;
+  r_window : Window.stats;
+  r_dyn : Dynamics.stats;
+  r_filter : Session_reset.stats option;
+}
+
+let watched_of config scenario p =
+  Tor_prefix.is_tor_prefix scenario.Scenario.tor_prefixes p
+  || List.exists
+       (fun (c, g) -> Prefix.equal c p || Prefix.equal g p)
+       config.Config.monitored
+
+let replay ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
+    ?(extra_updates = []) ?(sinks = []) ?(config = Config.default) ~exec
+    scenario =
+  Span.with_ ~name:"serve.replay" @@ fun () ->
+  let duration = dynamics.Dynamics.duration in
+  let t =
+    create ~config ~duration ~watched:(watched_of config scenario) ~sinks
+      ~exec ()
+  in
+  (* Feed plumbing identical to [Measurement.run]: same RNG stream name,
+     same session-reset filtering, same time-merge of extra updates — so
+     the update multiset entering the service is exactly the batch one. *)
+  let rng = Scenario.rng_for scenario "measurement" in
+  let pending_extra = ref extra_updates in
+  let flush_extra_until time =
+    let rec loop () =
+      match !pending_extra with
+      | e :: rest when e.Update.time <= time ->
+          pending_extra := rest;
+          offer t e;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  let downstream u =
+    flush_extra_until u.Update.time;
+    offer t u
+  in
+  let filter_state =
+    if no_filter then None
+    else Some (Session_reset.create ?config:filter ~emit:downstream ())
+  in
+  (* Tick-driven filter, exactly as [Measurement.run]: bounded emission
+     delay, globally time-ordered post-filter stream — so the ingest
+     stage's bounded slack never drops a straggler on replay. *)
+  let emit =
+    match filter_state with
+    | Some f ->
+        fun (u : Update.t) ->
+          Session_reset.advance f u.Update.time;
+          Session_reset.push f u
+    | None -> downstream
+  in
+  let on_initial initial =
+    Update.Session_map.iter
+      (fun session table0 ->
+         (match filter_state with
+          | Some f ->
+              Session_reset.preload_table f session (Prefix.Map.cardinal table0)
+          | None -> ());
+         Prefix.Map.iter
+           (fun prefix route ->
+              Window.set_baseline t.window { Measurement.session; prefix }
+                (Route.as_set route))
+           table0)
+      initial
+  in
+  let initial, dyn_stats =
+    Dynamics.run ~rng ~on_initial dynamics scenario.Scenario.world ~emit
+  in
+  (match filter_state with
+   | Some f -> Session_reset.flush f
+   | None -> ());
+  flush_extra_until infinity;
+  let violations = drain ~initial t ~horizon:duration in
+  { r_config = config;
+    r_duration = duration;
+    r_cells = Window.cells t.window;
+    r_alerts = alerts t;
+    r_events = t.n_events;
+    r_violations = violations;
+    r_ingest = Ingest.stats t.ingest;
+    r_window = Window.stats t.window;
+    r_dyn = dyn_stats;
+    r_filter = Option.map Session_reset.stats filter_state }
+
+(* ------------------------------------------------------------------ *)
+(* Batch reference arm.                                                *)
+
+let batch_alerts ?(dynamics = Dynamics.default_config) ?filter
+    ?(no_filter = false) ?(extra_updates = []) ~learning_period scenario =
+  (* The tick-driven filter makes the post-filter stream globally
+     time-ordered, so the batch detector consumes the [observe] hook
+     directly — the very sequence the service's watermark releases. *)
+  let monitor = Detection.create ~learning_period () in
+  let batch = ref [] in
+  let m =
+    Measurement.run ~dynamics ?filter ~no_filter ~extra_updates
+      ~observe:(fun u ->
+          List.iter
+            (fun a -> batch := Alert.of_alarm ~detector:"c1c" a :: !batch)
+            (Detection.observe monitor u))
+      scenario
+  in
+  (m, List.rev !batch)
+
+(* ------------------------------------------------------------------ *)
+(* Replay-equivalence verdict.                                         *)
+
+let sort_cells cells =
+  List.sort
+    (fun (a : Measurement.cell) b -> Window.compare_key a.key b.key)
+    cells
+
+let pp_key ppf (k : Measurement.key) =
+  Format.fprintf ppf "%a %a" Update.pp_session k.Measurement.session
+    Prefix.pp k.Measurement.prefix
+
+let sorted_assoc l =
+  List.sort (fun (a, _) (b, _) -> Asn.compare a b) l
+
+let assoc_equal a b =
+  List.equal
+    (fun (xa, da) (xb, db) -> Asn.equal xa xb && Float.equal da db)
+    (sorted_assoc a) (sorted_assoc b)
+
+let diff_cell ~threshold issues (s : Measurement.cell)
+    (b : Measurement.cell) =
+  let addf fmt = Format.kasprintf (fun m -> issues := m :: !issues) fmt in
+  if not (Option.equal Asn.Set.equal s.baseline b.baseline) then
+    addf "cell %a: baseline differs" pp_key s.key;
+  if s.updates <> b.updates then
+    addf "cell %a: updates %d (serve) vs %d (batch)" pp_key s.key s.updates
+      b.updates;
+  if s.path_changes <> b.path_changes then
+    addf "cell %a: path changes %d (serve) vs %d (batch)" pp_key s.key
+      s.path_changes b.path_changes;
+  if not (Option.equal Asn.Set.equal s.final_set b.final_set) then
+    addf "cell %a: final AS set differs" pp_key s.key;
+  if not (assoc_equal s.residency b.residency) then
+    addf "cell %a: residency differs" pp_key s.key;
+  if not (assoc_equal s.contiguous b.contiguous) then
+    addf "cell %a: contiguous runs differ" pp_key s.key;
+  if
+    not
+      (Asn.Set.equal
+         (Measurement.extra_ases ~threshold s)
+         (Measurement.extra_ases ~threshold b))
+  then addf "cell %a: extra-AS set differs" pp_key s.key
+
+let diff_against_batch (r : replay_result) (m : Measurement.t)
+    (batch_alerts : Alert.t list) =
+  let issues = ref [] in
+  let addf fmt = Format.kasprintf (fun s -> issues := s :: !issues) fmt in
+  let is = r.r_ingest in
+  if is.Ingest.dropped_late > 0 then
+    addf "%d late drops in ingest (slack too small for the feed's disorder)"
+      is.Ingest.dropped_late;
+  if is.Ingest.dropped_overflow > 0 then
+    addf "%d overflow drops in ingest (queue capacity too small)"
+      is.Ingest.dropped_overflow;
+  if is.Ingest.queued > 0 then
+    addf "%d updates still queued after drain" is.Ingest.queued;
+  List.iter
+    (fun (v : Conformance.violation) ->
+       addf "conformance violation [%s] %s" v.Conformance.invariant
+         v.Conformance.message)
+    r.r_violations;
+  if List.length r.r_alerts <> List.length batch_alerts then
+    addf "alert count %d (serve) vs %d (batch)" (List.length r.r_alerts)
+      (List.length batch_alerts)
+  else
+    List.iteri
+      (fun i (s, b) ->
+         if not (Alert.equal s b) then
+           addf "alert %d differs: %s (serve) vs %s (batch)" i
+             s.Alert.summary b.Alert.summary)
+      (List.combine r.r_alerts batch_alerts);
+  let batch_cells = sort_cells m.Measurement.cells in
+  if List.length r.r_cells <> List.length batch_cells then
+    addf "cell count %d (serve) vs %d (batch)" (List.length r.r_cells)
+      (List.length batch_cells)
+  else
+    List.iter2
+      (fun (s : Measurement.cell) (b : Measurement.cell) ->
+         if Window.compare_key s.key b.key <> 0 then
+           addf "cell key mismatch: %a (serve) vs %a (batch)" pp_key s.key
+             pp_key b.key
+         else
+           diff_cell ~threshold:r.r_config.Config.threshold issues s b)
+      r.r_cells batch_cells;
+  List.rev !issues
+
+let pp_replay_summary ppf r =
+  Format.fprintf ppf
+    "@[<v>serve: %d cells, %d alerts, %d events, %d violations over %.0f s@,\
+     %a@,%a@]"
+    (List.length r.r_cells) (List.length r.r_alerts) r.r_events
+    (List.length r.r_violations) r.r_duration Ingest.pp_stats r.r_ingest
+    Window.pp_stats r.r_window

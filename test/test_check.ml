@@ -155,6 +155,71 @@ let test_extra_ases_needs_contiguous_residency () =
   check_bool "disjoint stints do not pass the 5-minute rule" true
     (not (Asn.Set.mem intruder (Measurement.extra_ases cell)))
 
+(* ---- pinning: the streaming window obeys the same contiguity rule ----- *)
+
+(* The qs_serve sliding window reimplements the 5-minute rule with armed
+   timers instead of sealed cells; this pins both arms to the same
+   semantics — longest contiguous run, not cumulative residency — on a
+   stream whose stints all straddle 60 s bucket boundaries, where a
+   bucket-quantized reimplementation would drift. *)
+let test_window_pins_contiguous_rule () =
+  let s = session 0 in
+  let p = prefix_of 0 in
+  let key = { Measurement.session = s; prefix = p } in
+  let base_path = [ Asn.of_int 100; Asn.of_int 200 ] in
+  let intruder = Asn.of_int 399_999 in
+  let with_intruder = intruder :: base_path in
+  let feed =
+    (* Ten disjoint 40 s stints, 400 s cumulative, each crossing a bucket
+       boundary (starts at 90 mod 120): must never fire. *)
+    List.concat
+      (List.init 10 (fun k ->
+           let t = 90. +. (120. *. float_of_int k) in
+           [ announce ~path:with_intruder s t 0;
+             announce ~path:base_path s (t +. 40.) 0 ]))
+    (* ...then one single 310 s run over five bucket boundaries: fires. *)
+    @ [ announce ~path:with_intruder s 1530. 0;
+        announce ~path:base_path s 1840. 0 ]
+  in
+  let horizon = 3600. in
+  let base_set = Route.as_set (Route.make p base_path) in
+  let w = Window.create ~watched:(fun _ -> true) () in
+  Window.set_baseline w key base_set;
+  let events =
+    List.concat_map (fun u -> Window.apply w u) feed
+    @ Window.drain w ~horizon
+  in
+  let acc = Measurement.Acc.create () in
+  Measurement.Acc.set_baseline acc base_set;
+  List.iter (fun u -> ignore (Measurement.Acc.consume acc u)) feed;
+  Measurement.Acc.seal acc horizon;
+  let fired =
+    List.filter_map
+      (function Event.Extra_as { asn; time; run; _ } -> Some (asn, time, run)
+              | _ -> None)
+      events
+  in
+  (match fired with
+   | [ (a, time, run) ] ->
+       check_bool "the intruder fired" true (Asn.equal a intruder);
+       (* The timer arms at run entry + threshold: nothing the 400 s of
+          disjoint stints accumulated may fire it earlier. *)
+       check_bool "not before 1530 + 300" true (time >= 1830.);
+       check_bool "reported run is the contiguous one" true
+         (run >= 300. && run < 400.)
+   | l -> Alcotest.failf "expected exactly one extra-AS event, got %d"
+            (List.length l));
+  (* And the emitted set equals the batch rule on the sealed cell. *)
+  let cell =
+    match Measurement.Acc.cell key acc with
+    | Some c -> c
+    | None -> Alcotest.fail "batch accumulator lost the key"
+  in
+  check_bool "window emission = batch extra_ases" true
+    (Asn.Set.equal
+       (Measurement.extra_ases cell)
+       (Asn.Set.singleton intruder))
+
 (* ---- Conformance ------------------------------------------------------ *)
 
 let test_conformance_detects_violations () =
@@ -361,7 +426,9 @@ let () =
          Alcotest.test_case "withdraw-only key has no cell" `Quick
            test_withdraw_only_key_is_not_a_cell;
          Alcotest.test_case "extra-AS rule needs contiguity" `Quick
-           test_extra_ases_needs_contiguous_residency ]);
+           test_extra_ases_needs_contiguous_residency;
+         Alcotest.test_case "streaming window pins the same rule" `Quick
+           test_window_pins_contiguous_rule ]);
       ("conformance",
        [ Alcotest.test_case "detects injected violations" `Quick
            test_conformance_detects_violations;

@@ -459,6 +459,65 @@ let test_qs305_fires () =
   check_bool "severity error" true
     (List.for_all (fun d -> d.Diag.rule.Diag.severity = Diag.Error) diags)
 
+(* ---- Serve configuration (QS307) ------------------------------------- *)
+
+let test_qs307_registered () =
+  check_bool "QS307 in the registry" true
+    (match Lint.find_rule "QS307" with
+     | Some r -> r.Diag.slug = "serve-config-invalid"
+     | None -> false);
+  check_bool "by slug too" true (Lint.find_rule "serve-config-invalid" <> None)
+
+let qs307_base = Serve.Config.view Serve.Config.default
+
+let test_qs307_structural () =
+  check_int "default serve config clean" 0
+    (List.length (Serve_lint.check qs307_base));
+  check_bool "window not a multiple of bucket" true
+    (fires "QS307"
+       (Serve_lint.check { qs307_base with Serve_lint.window = 100. }));
+  check_bool "non-positive bucket" true
+    (fires "QS307"
+       (Serve_lint.check { qs307_base with Serve_lint.bucket = 0. }));
+  check_bool "threshold beyond the window" true
+    (fires "QS307"
+       (Serve_lint.check { qs307_base with Serve_lint.threshold = 7200. }));
+  check_bool "non-positive threshold" true
+    (fires "QS307"
+       (Serve_lint.check { qs307_base with Serve_lint.threshold = 0. }));
+  check_bool "negative slack" true
+    (fires "QS307"
+       (Serve_lint.check { qs307_base with Serve_lint.slack = -1. }));
+  check_bool "chunk beyond queue capacity" true
+    (fires "QS307"
+       (Serve_lint.check
+          { qs307_base with Serve_lint.capacity = 16; chunk = 64 }))
+
+let test_qs307_monitored_pairs () =
+  let s = Lazy.force scenario in
+  let announced = Addressing.announced s.Scenario.addressing in
+  let is_tor p = Tor_prefix.is_tor_prefix s.Scenario.tor_prefixes p in
+  let client =
+    fst (List.find (fun (p, _) -> not (is_tor p)) announced)
+  in
+  let guard = fst (List.find (fun (p, _) -> is_tor p) announced) in
+  let view pairs = { qs307_base with Serve_lint.monitored = pairs } in
+  check_int "announced (client, guard) pair clean" 0
+    (List.length (Serve_lint.check ~scenario:s (view [ (client, guard) ])));
+  check_bool "unannounced client prefix fires" true
+    (fires "QS307"
+       (Serve_lint.check ~scenario:s
+          (view [ (pfx "203.0.113.0/24", guard) ])));
+  check_bool "unannounced guard prefix fires" true
+    (fires "QS307"
+       (Serve_lint.check ~scenario:s
+          (view [ (client, pfx "198.51.100.0/24") ])));
+  check_bool "relay-less guard prefix fires" true
+    (fires "QS307" (Serve_lint.check ~scenario:s (view [ (guard, client) ])));
+  (* without a scenario only the structural checks run *)
+  check_int "pairs unchecked without a scenario" 0
+    (List.length (Serve_lint.check (view [ (pfx "203.0.113.0/24", client) ])))
+
 (* ---- Observability registry (QS306) ---------------------------------- *)
 
 let test_qs306_registered () =
@@ -582,6 +641,12 @@ let () =
          Alcotest.test_case "QS305 fires" `Quick test_qs305_fires;
          Alcotest.test_case "lint jobs identity" `Quick
            test_lint_run_jobs_identical ]);
+      ("serve config",
+       [ Alcotest.test_case "QS307 registered" `Quick test_qs307_registered;
+         Alcotest.test_case "QS307 structural checks" `Quick
+           test_qs307_structural;
+         Alcotest.test_case "QS307 monitored pairs" `Quick
+           test_qs307_monitored_pairs ]);
       ("observability",
        [ Alcotest.test_case "QS306 registered" `Quick test_qs306_registered;
          Alcotest.test_case "QS306 fires" `Quick test_qs306_fires;

@@ -20,7 +20,13 @@
 #   6. quicksand check --suite delta
 #                       — delta-vs-full propagation equivalence: byte-
 #                         identical update streams and final tables
-#                         across 5 seeds, cache on/off, jobs 1 vs 4.
+#                         across 5 seeds, cache on/off, jobs 1 vs 4;
+#   7. quicksand serve --replay --verify-batch
+#                       — the streaming service over a seeded churn-heavy
+#                         half day with injected hijacks: C1c alert set
+#                         must equal the batch detector's exactly and the
+#                         windowed cells must be bit-identical to
+#                         Measurement.run's (exit 1 on any divergence).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -42,5 +48,9 @@ dune exec bin/quicksand.exe -- check --suite static --scale small
 
 echo "== quicksand check --suite delta (Small, 5 seeds)"
 dune exec bin/quicksand.exe -- check --suite delta --scale small
+
+echo "== quicksand serve --replay --verify-batch (Small, seed 1, half a day)"
+dune exec bin/quicksand.exe -- serve --replay --verify-batch --scale small \
+  --seed 1 --days 0.5 --attacks 4 --quiet
 
 echo "CI OK"
