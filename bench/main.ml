@@ -270,6 +270,10 @@ let () =
 
   section "AB-cache" "ablation — route cache on/off (same stream, fewer recomputes)"
     (fun () ->
+       (* Declared as the `ab-cache` sweep registry entry: `quicksand
+          sweep --matrix ab-cache` runs the same two arms and writes
+          their results directories; this bench arm keeps the wall-clock
+          comparison, which the sweep deliberately never records. *)
        (* Short outages keep failures mostly non-overlapping, so reverts
           return to an exact previously-seen (announcement, failed)
           configuration — the reuse pattern the cache exists for. Long
@@ -329,10 +333,11 @@ let () =
   section "AB-delta"
     "ablation — incremental delta repair vs full recompute (cache disabled)"
     (fun () ->
-       (* The churn-heavy day from AB-cache, with the route cache off in
-          both arms so the clock compares the two propagation engines
-          directly: every outcome request either full-computes or
-          delta-repairs. *)
+       (* Declared as the `ab-delta` sweep registry entry — same two
+          arms, results-directory form. The churn-heavy day from
+          AB-cache, with the route cache off in both arms so the clock
+          compares the two propagation engines directly: every outcome
+          request either full-computes or delta-repairs. *)
        let cfg =
          { Dynamics.short_config with
            Dynamics.duration = 1. *. 86_400.;
@@ -413,6 +418,9 @@ let () =
 
   section "AB-obs" "ablation — Qs_obs instrumentation on vs off (F3L dynamics kernel)"
     (fun () ->
+       (* Declared as the `ab-obs` sweep registry entry, whose test pins
+          the correctness half (identical measured numbers both arms);
+          this bench arm keeps the cost half. *)
        (* Every hot-path counter bump in Dynamics/Route_cache/
           Session_reset/Pool goes through the registry; this proves the
           cost is in the noise. Runs alternate on/off so drift hits both

@@ -34,6 +34,28 @@ let jobs =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* Shared per-flag definitions for options that several subcommands take.
+   One definition per flag keeps names, docv and defaults from drifting
+   between commands (the old copy-per-command style had three private
+   [--trials] and three private [-o]). *)
+
+let output_file =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to a file instead of stdout.")
+
+let trials_arg ?(doc = "Attack trials.") default =
+  Arg.(value & opt int default & info [ "trials" ] ~docv:"N" ~doc)
+
+(* Companion of [output_file]: dump [data] where the flag points. *)
+let dump out data =
+  match out with
+  | None -> print_string data
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc data);
+      Format.printf "wrote %s@." path
+
 (* ---- observability reports ------------------------------------------- *)
 
 let metrics_file =
@@ -208,9 +230,7 @@ let hijack_cmd =
     Deanonymization.print_hijack fmt
       (Deanonymization.hijack ~rng ~n_trials:trials ~n_clients:clients s)
   in
-  let trials =
-    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N" ~doc:"Attack trials.")
-  in
+  let trials = trials_arg 20 in
   let clients =
     Arg.(value & opt int 40 & info [ "clients" ] ~docv:"N" ~doc:"Clients per trial.")
   in
@@ -224,9 +244,7 @@ let intercept_cmd =
     Deanonymization.print_interception fmt
       (Deanonymization.interception ~rng ~n_trials:trials s)
   in
-  let trials =
-    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N" ~doc:"Attack trials.")
-  in
+  let trials = trials_arg 20 in
   Cmd.v (Cmd.info "intercept" ~doc:"A2: guard-prefix interception and deanonymization")
     Term.(const run $ seed $ scale $ trials)
 
@@ -249,9 +267,7 @@ let rov_cmd =
     let rng = Scenario.rng_for s "rov" in
     Bgp_security.print fmt (Bgp_security.sweep ~rng ~n_trials:trials s)
   in
-  let trials =
-    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc:"Trials per point.")
-  in
+  let trials = trials_arg ~doc:"Trials per point." 10 in
   Cmd.v (Cmd.info "rov" ~doc:"X1: RPKI/ROV deployment vs hijack and interception")
     Term.(const run $ seed $ scale $ trials)
 
@@ -286,36 +302,18 @@ let long_term_cmd =
 let topology_cmd =
   let run seed scale out =
     let s = build_scenario seed scale in
-    let data = As_graph.to_caida_string s.Scenario.graph in
-    match out with
-    | None -> print_string data
-    | Some path ->
-        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc data);
-        Format.printf "wrote %s@." path
-  in
-  let out =
-    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
-           ~doc:"Write to a file instead of stdout.")
+    dump out (As_graph.to_caida_string s.Scenario.graph)
   in
   Cmd.v (Cmd.info "topology" ~doc:"Dump the AS graph in CAIDA as-rel format")
-    Term.(const run $ seed $ scale $ out)
+    Term.(const run $ seed $ scale $ output_file)
 
 let consensus_cmd =
   let run seed scale out =
     let s = build_scenario seed scale in
-    let data = Consensus.to_string s.Scenario.consensus in
-    match out with
-    | None -> print_string data
-    | Some path ->
-        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc data);
-        Format.printf "wrote %s@." path
-  in
-  let out =
-    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
-           ~doc:"Write to a file instead of stdout.")
+    dump out (Consensus.to_string s.Scenario.consensus)
   in
   Cmd.v (Cmd.info "consensus" ~doc:"Dump the synthetic Tor consensus")
-    Term.(const run $ seed $ scale $ out)
+    Term.(const run $ seed $ scale $ output_file)
 
 let mrt_cmd =
   let run seed scale hours out =
@@ -975,6 +973,93 @@ let check_cmd =
     Term.(const run $ seed $ scale $ suite $ seeds $ days $ json_flag
           $ obs_opts)
 
+let sweep_cmd =
+  let list_entries () =
+    List.iter
+      (fun (e : Sweep.entry) ->
+         let cells =
+           match Sweep.cells e with
+           | Ok cs -> string_of_int (List.length cs)
+           | Error _ -> "invalid"
+         in
+         Format.printf "%-18s %7s cells  %s@." e.Sweep.name cells e.Sweep.doc)
+      Sweep.builtin;
+    Format.printf "@.overlay/axis keys:@.";
+    List.iter
+      (fun (k, doc) -> Format.printf "  %-10s %s@." k doc)
+      Sweep.known_keys
+  in
+  let run matrix out list json jobs obs =
+    if list then list_entries ()
+    else
+      match matrix with
+      | None ->
+          Format.eprintf
+            "quicksand: sweep needs --matrix ENTRY (try --list)@.";
+          Stdlib.exit 2
+      | Some name ->
+          match Sweep.find Sweep.builtin name with
+          | None ->
+              Format.eprintf
+                "quicksand: unknown sweep matrix %S (try --list)@." name;
+              Stdlib.exit 2
+          | Some entry ->
+              (* Exit code decided inside [with_obs], acted on after it
+                 returns, like lint: [Stdlib.exit] would skip the report
+                 writers. *)
+              let code =
+                with_obs obs (fun () ->
+                    let outcome =
+                      with_exec ~show_stats:(not json) jobs (fun exec ->
+                          Sweep_run.run ~exec entry)
+                    in
+                    match outcome with
+                    | Error invalids ->
+                        List.iter
+                          (fun (i : Sweep.invalid) ->
+                            Format.eprintf "sweep: %s@." i.Sweep.message)
+                          invalids;
+                        2
+                    | Ok t ->
+                        Option.iter
+                          (fun dir ->
+                            let written = Sweep_run.write ~dir t in
+                            Format.eprintf "wrote %d files under %s@."
+                              (List.length written) dir)
+                          out;
+                        if json then print_string (t.Sweep_run.index_json ^ "\n")
+                        else begin
+                          Sweep_run.print_table fmt t;
+                          Format.pp_print_newline fmt ()
+                        end;
+                        0)
+              in
+              if code <> 0 then Stdlib.exit code
+  in
+  let matrix =
+    Arg.(value & opt (some string) None
+         & info [ "matrix"; "m" ] ~docv:"ENTRY"
+             ~doc:"Registry entry to expand and run (see $(b,--list)).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write the results directory: $(i,DIR)/index.json, \
+                   $(i,DIR)/table.txt and one \
+                   $(i,DIR)/cell-*/{summary.json,metrics.json,fingerprint} \
+                   per cell. Byte-identical across reruns and $(b,--jobs) \
+                   settings.")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ]
+           ~doc:"Print the registry (entries, cell counts, known keys) \
+                 and exit.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Expand a declared scenario matrix and run every cell")
+    Term.(const run $ matrix $ out $ list $ json_flag $ jobs $ obs_opts)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -990,4 +1075,4 @@ let () =
             compromise_cmd; asym_cmd; hijack_cmd; intercept_cmd; defend_cmd;
             rov_cmd; asymmetry_cmd; long_term_cmd;
             topology_cmd; consensus_cmd; mrt_cmd; lint_cmd; surface_cmd;
-            serve_cmd; check_cmd ]))
+            serve_cmd; check_cmd; sweep_cmd ]))

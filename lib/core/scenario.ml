@@ -42,10 +42,36 @@ let build ~seed size =
 
 let sessions t = Collector.all_sessions t.collectors
 
-(* The four externally-visible sections of a scenario, each rendered to a
-   canonical string. Kept as thunks so [fingerprint] can render and digest
-   them as pool tasks — each thunk only reads the (frozen) scenario. *)
-let fingerprint_sections t : (unit -> string) array =
+let size_to_string = function Paper -> "paper" | Small -> "small"
+
+let size_of_string = function
+  | "paper" -> Some Paper
+  | "small" -> Some Small
+  | _ -> None
+
+(* The canonical identity section: seed, size, and whatever process
+   parameters the caller layers on top (churn model, adversary fraction,
+   horizon — anything that can make two runs over this scenario diverge).
+   Length-prefixed fields make the rendering injection-proof — no choice
+   of key/value strings can collide with another binding list — and keys
+   are sorted so binding order never matters. *)
+let params_section ?(params = []) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "qs-params/1\n";
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" t.seed);
+  Buffer.add_string buf (Printf.sprintf "size %s\n" (size_to_string t.size));
+  List.stable_sort (fun (a, _) (b, _) -> String.compare a b) params
+  |> List.iter (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%s=%d:%s\n" (String.length k) k (String.length v)
+           v));
+  Buffer.contents buf
+
+(* The content sections of a scenario, each rendered to a canonical
+   string: graph, consensus, addressing and sessions. Kept as thunks so
+   [fingerprint] can render and digest them as pool tasks — each thunk
+   only reads the (frozen) scenario. *)
+let content_sections t : (unit -> string) array =
   [| (fun () -> As_graph.to_caida_string t.graph);
      (fun () -> Consensus.to_string t.consensus);
      (fun () ->
@@ -77,21 +103,35 @@ let fingerprint_sections t : (unit -> string) array =
           (sessions t);
         Buffer.contents buf) |]
 
-let fingerprint ?exec t =
+let fingerprint ?exec ?params t =
   let pool = match exec with Some p -> p | None -> Pool.default () in
+  (* The identity section comes first: two cells over the same built world
+     that can still diverge (different seeds recorded, different process
+     parameters) must fingerprint differently. *)
+  let sections =
+    Array.append
+      [| (fun () -> params_section ?params t) |]
+      (content_sections t)
+  in
   let section_digests =
     Pool.map pool
       (fun render -> Digest.to_hex (Digest.string (render ())))
-      (fingerprint_sections t)
+      sections
   in
   Digest.to_hex
     (Digest.string (String.concat "+" (Array.to_list section_digests)))
 
 let rng_for t name =
   (* Derive a stream from the seed and the experiment name only, so that
-     running experiments in any order gives identical results. *)
-  let h = Hashtbl.hash name in
-  Rng.create (Int64.add (Int64.of_int t.seed) (Int64.mul 0x9E37L (Int64.of_int h)))
+     running experiments in any order gives identical results. The name
+     enters through an MD5 digest, never [Hashtbl.hash]: the hash's 30-bit
+     range made cross-(seed, name) stream collisions constructible (see
+     the regression in test/test_core.ml), and colliding names would feed
+     two supposedly independent experiments the same randomness. The
+     decimal seed before the first ':' keeps (seed, name) pairs apart even
+     when names contain ':'. *)
+  let d = Digest.string (Printf.sprintf "qs-rng/1:%d:%s" t.seed name) in
+  Rng.create (String.get_int64_le d 0)
 
 let guard_announcement t relay =
   match Tor_prefix.prefix_of_relay t.tor_prefixes relay with

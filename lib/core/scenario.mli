@@ -27,19 +27,34 @@ val build : seed:int -> size -> t
 
 val sessions : t -> Collector.session list
 
-val fingerprint : ?exec:Pool.t -> t -> string
+val size_to_string : size -> string
+(** ["paper"] or ["small"] — the spelling the CLI and the sweep registry
+    use. *)
+
+val size_of_string : string -> size option
+
+val fingerprint : ?exec:Pool.t -> ?params:(string * string) list -> t -> string
 (** A digest over every externally-visible piece of the scenario —
-    topology, consensus, address plan, collector sessions. Two builds
-    from the same seed and size must produce equal fingerprints; the
-    [QS301] lint rule enforces exactly that. The four sections are
-    rendered and digested as tasks on [exec] (default {!Pool.default})
-    and combined in a fixed order, so the digest is independent of the
-    worker count — the [QS305] lint rule recomputes it at [jobs = 1] and
-    [jobs = 2] and flags any disagreement. *)
+    an identity section (seed, size, and the caller-supplied [params]
+    bindings, canonically sorted and length-prefixed so binding order and
+    adversarial key/value strings cannot alias), then topology, consensus,
+    address plan and collector sessions. Two builds from the same seed and
+    size (and equal [params]) must produce equal fingerprints; the [QS301]
+    lint rule enforces exactly that. [params] is how a sweep cell bakes
+    its process parameters (churn model, adversary, horizon) into its
+    identity: any two cells whose results can diverge must fingerprint
+    differently. The sections are rendered and digested as tasks on [exec]
+    (default {!Pool.default}) and combined in a fixed order, so the digest
+    is independent of the worker count — the [QS305] lint rule recomputes
+    it at [jobs = 1] and [jobs = 2] and flags any disagreement. *)
 
 val rng_for : t -> string -> Rng.t
 (** A deterministic RNG stream for a named sub-experiment, independent of
-    streams consumed while building the scenario. *)
+    streams consumed while building the scenario. The stream is derived
+    from an MD5 digest of the (seed, full name) pair, so distinct
+    experiment names get independent streams — no [Hashtbl.hash]-style
+    truncation through which two names (or two (seed, name) pairs) can
+    collide onto one stream. *)
 
 val guard_announcement : t -> Relay.t -> Announcement.t option
 (** The legitimate BGP announcement covering a relay: its Tor prefix with

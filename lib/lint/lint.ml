@@ -1,7 +1,7 @@
 let all_rules =
   Routing_lint.rules @ Topology_lint.rules @ Addressing_lint.rules
   @ Scenario_lint.rules @ Obs_lint.rules @ Surface_lint.rules
-  @ Serve_lint.rules
+  @ Serve_lint.rules @ Sweep_lint.rules
 
 let find_rule selector =
   List.find_opt (fun r -> Diag.matches_rule r selector) all_rules
@@ -96,7 +96,9 @@ let run ?rules ?(max_prefixes = 512) ?(determinism = true) ?serve_config
     | None -> []
     | Some view -> Serve_lint.check ~scenario:s view
   in
+  let sweep = Sweep_lint.check () in
   let diags =
     routing @ topology @ addressing @ scenario @ obs @ surface @ serve
+    @ sweep
   in
   match rules with None -> diags | Some rules -> select ~rules diags

@@ -31,6 +31,7 @@ let () =
   force Measurement.changes_of;
   force Scenario.sessions;
   force Static_surface.create;
+  force Sweep_run.table_string;
   force Span.enabled
 
 let exempt name = String.length name >= 5 && String.sub name 0 5 = "test."

@@ -1,0 +1,18 @@
+(** QS308: static validation of the sweep scenario registry.
+
+    Registry entries are pure data ({!Sweep.entry}), so everything that
+    can make a [quicksand sweep] run wrong — an unknown key, an
+    out-of-range overlay value, an empty axis, an unresolvable or cyclic
+    base chain, two cells collapsing onto one identity — is detectable
+    without building a single scenario. The rule simply lifts
+    {!Sweep.validate_registry}'s findings into diagnostics. *)
+
+val sweep_entry_invalid : Diag.rule
+(** [QS308-sweep-entry-invalid]. *)
+
+val rules : Diag.rule list
+
+val check : ?registry:Sweep.entry list -> unit -> Diag.t list
+(** Validate [registry] (default {!Sweep.builtin}): one [Error]
+    diagnostic per {!Sweep.invalid} finding, carrying the entry name,
+    the problem slug and the finding's structured detail as context. *)

@@ -78,6 +78,29 @@ let test_ccdf_quantile_below_tail_mass () =
   | Some x -> check_float "q = 0 yields the max" 4. x
   | None -> Alcotest.fail "q = 0 must yield the max sample"
 
+(* The remaining boundaries of the documented contract ("the smallest
+   sample with at <= q"): q >= 1 is satisfied by every sample, so the
+   minimum comes back; all-equal samples put the whole mass at one value,
+   so any q < 1 falls back to that value (which is also the max); a
+   singleton answers every q with its only sample. *)
+let test_ccdf_quantile_boundaries () =
+  let expect name want q c =
+    match Ccdf.quantile_where c q with
+    | Some x -> check_float name want x
+    | None -> Alcotest.fail (name ^ ": expected a quantile")
+  in
+  let c = Ccdf.of_samples [ 1.; 2.; 3.; 4. ] in
+  expect "q = 1 yields the min" 1. 1.0 c;
+  expect "q > 1 yields the min" 1. 1.5 c;
+  let flat = Ccdf.of_samples [ 5.; 5.; 5. ] in
+  expect "all-equal, q = 1" 5. 1.0 flat;
+  expect "all-equal, q = 0.5" 5. 0.5 flat;
+  expect "all-equal, q = 0" 5. 0. flat;
+  let one = Ccdf.of_samples [ 7. ] in
+  expect "singleton, q = 1" 7. 1.0 one;
+  expect "singleton, q = 0.5" 7. 0.5 one;
+  expect "singleton, q = 0" 7. 0. one
+
 let prop_ccdf_in_unit_interval =
   QCheck.Test.make ~name:"ccdf values in [0,1]" ~count:200
     QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 50) (map Float.abs float)) float)
@@ -242,7 +265,9 @@ let () =
          Alcotest.test_case "monotone points" `Quick test_ccdf_points_monotone;
          Alcotest.test_case "quantile_where" `Quick test_ccdf_quantile_where;
          Alcotest.test_case "quantile below tail mass" `Quick
-           test_ccdf_quantile_below_tail_mass ]
+           test_ccdf_quantile_below_tail_mass;
+         Alcotest.test_case "quantile boundaries" `Quick
+           test_ccdf_quantile_boundaries ]
        @ qsuite [ prop_ccdf_in_unit_interval ]);
       ("correlation",
        [ Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;

@@ -63,6 +63,22 @@ let test_scenario_rng_for_stable () =
   check_bool "same name same stream" true (Int64.equal a b);
   check_bool "different name different stream" true (not (Int64.equal a c))
 
+(* Regression (failed before the Digest-based derivation): [rng_for] used
+   to seed its stream with [seed + 0x9E37 * Hashtbl.hash name], and
+   [Hashtbl.hash]'s bounded range makes cross-(seed, name) collisions
+   constructible — with ha = hash "alpha" and hb = hash "bravo", the pair
+   (seed, "alpha") collided with (seed + 0x9E37 * (ha - hb), "bravo"),
+   feeding two supposedly independent experiments the same randomness. *)
+let test_scenario_rng_for_no_hash_collision () =
+  let s1 = Lazy.force scenario in
+  let ha = Hashtbl.hash "alpha" and hb = Hashtbl.hash "bravo" in
+  let seed2 = s1.Scenario.seed + (0x9E37 * (ha - hb)) in
+  let s2 = Scenario.build ~seed:seed2 s1.Scenario.size in
+  let a = Rng.int64 (Scenario.rng_for s1 "alpha") in
+  let b = Rng.int64 (Scenario.rng_for s2 "bravo") in
+  check_bool "constructed (seed, name) collision gets distinct streams" true
+    (not (Int64.equal a b))
+
 (* ---- Measurement ------------------------------------------------------ *)
 
 let test_measurement_cells_consistent () =
@@ -447,6 +463,29 @@ let test_fingerprint_jobs_identical () =
   Alcotest.(check string) "fingerprint identical at jobs=1 and jobs=4"
     (fp 1) (fp 4)
 
+(* Regression (failed before the identity section was added): the
+   fingerprint digested only graph/consensus/addressing/sessions, so two
+   sweep cells over the same built scenario — different churn model,
+   adversary fraction, horizon — fingerprinted identically and their
+   results directories were indistinguishable. The params section must
+   separate them, canonically (binding order must not matter, and the
+   length-prefixed rendering must keep adversarial key/value spellings
+   from aliasing). *)
+let test_fingerprint_params_identity () =
+  let s = Lazy.force scenario in
+  let fp params = Scenario.fingerprint ~params s in
+  check_bool "distinct params, distinct fingerprints" true
+    (fp [ ("churn", "heavy") ] <> fp [ ("churn", "calm") ]);
+  check_bool "params change the no-params fingerprint" true
+    (fp [ ("churn", "heavy") ] <> Scenario.fingerprint s);
+  Alcotest.(check string) "binding order canonicalized"
+    (fp [ ("adversary", "0.05"); ("churn", "heavy") ])
+    (fp [ ("churn", "heavy"); ("adversary", "0.05") ]);
+  Alcotest.(check string) "absent params = empty params"
+    (Scenario.fingerprint s) (fp []);
+  check_bool "length-prefixed rendering cannot alias" true
+    (fp [ ("a", "1=2:x") ] <> fp [ ("a=1", "2:x") ])
+
 let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t)
 
 let () =
@@ -457,7 +496,9 @@ let () =
          Alcotest.test_case "guard announcements" `Quick
            test_scenario_guard_announcement;
          Alcotest.test_case "client AS sampling" `Quick test_scenario_client_as;
-         Alcotest.test_case "rng_for stability" `Quick test_scenario_rng_for_stable ]);
+         Alcotest.test_case "rng_for stability" `Quick test_scenario_rng_for_stable;
+         Alcotest.test_case "rng_for collision regression" `Quick
+           test_scenario_rng_for_no_hash_collision ]);
       ("measurement",
        [ Alcotest.test_case "cells consistent" `Quick test_measurement_cells_consistent;
          Alcotest.test_case "baseline residency" `Quick
@@ -491,7 +532,9 @@ let () =
        [ Alcotest.test_case "F3L jobs identity" `Quick
            test_path_changes_jobs_identical;
          Alcotest.test_case "fingerprint jobs identity" `Quick
-           test_fingerprint_jobs_identical ]
+           test_fingerprint_jobs_identical;
+         Alcotest.test_case "fingerprint params identity" `Quick
+           test_fingerprint_params_identity ]
        @ qsuite
            [ prop_compromise_jobs_identical; prop_long_term_jobs_identical;
              prop_as_exposure_jobs_identical ]) ]

@@ -459,6 +459,75 @@ let test_qs305_fires () =
   check_bool "severity error" true
     (List.for_all (fun d -> d.Diag.rule.Diag.severity = Diag.Error) diags)
 
+(* ---- Sweep registry (QS308) ------------------------------------------ *)
+
+let test_qs308_registered () =
+  check_bool "QS308 in the registry" true
+    (match Lint.find_rule "QS308" with
+     | Some r ->
+         r.Diag.slug = "sweep-entry-invalid"
+         && String.length r.Diag.explain > 200
+     | None -> false);
+  check_bool "by slug too" true (Lint.find_rule "sweep-entry-invalid" <> None)
+
+let sweep_entry ?base ?(overlay = []) ?(axes = []) name =
+  { Sweep.name; doc = "test entry"; base; overlay; axes }
+
+let test_qs308_builtin_clean () =
+  check_int "shipped registry clean" 0 (List.length (Sweep_lint.check ()))
+
+(* One injected entry per problem class; each must fire QS308 with the
+   entry name and a stable problem slug in the diagnostic context. *)
+let test_qs308_fires () =
+  let problems diags =
+    List.filter_map
+      (fun (d : Diag.t) ->
+         if d.Diag.rule.Diag.code = "QS308" then
+           List.assoc_opt "problem" d.Diag.context
+         else None)
+      diags
+  in
+  let check_problem name registry slug =
+    let diags = Sweep_lint.check ~registry () in
+    check_bool (name ^ " fires QS308") true (fires "QS308" diags);
+    check_bool (name ^ " carries slug " ^ slug) true
+      (List.mem slug (problems diags))
+  in
+  check_problem "unknown key"
+    [ sweep_entry "e" ~overlay:[ ("sise", "small") ] ]
+    "unknown-key";
+  check_problem "bad value"
+    [ sweep_entry "e" ~overlay:[ ("churn", "torrential") ] ]
+    "bad-value";
+  check_problem "out-of-range value"
+    [ sweep_entry "e" ~overlay:[ ("adversary", "1.5") ] ]
+    "bad-value";
+  check_problem "empty axis"
+    [ sweep_entry "e" ~axes:[ ("seed", []) ] ]
+    "empty-axis";
+  check_problem "unreachable base"
+    [ sweep_entry "e" ~base:"nowhere" ]
+    "unreachable-base";
+  check_problem "base cycle"
+    [ sweep_entry "a" ~base:"b"; sweep_entry "b" ~base:"a" ]
+    "base-cycle";
+  check_problem "duplicate cell"
+    [ sweep_entry "e" ~axes:[ ("churn", [ "heavy"; "heavy" ]) ] ]
+    "duplicate-cell";
+  check_problem "duplicate entry"
+    [ sweep_entry "e"; sweep_entry "e" ]
+    "duplicate-entry"
+
+let test_qs308_in_lint_run () =
+  (* The whole-scenario driver folds the registry check in; the shipped
+     registry is clean, so a full run must stay QS308-free. *)
+  let diags =
+    Pool.with_pool ~jobs:1 (fun exec ->
+        Lint.run ~rules:[ "QS308" ] ~determinism:false ~exec
+          (Lazy.force scenario))
+  in
+  check_int "QS308 clean on the shipped registry" 0 (List.length diags)
+
 (* ---- Serve configuration (QS307) ------------------------------------- *)
 
 let test_qs307_registered () =
@@ -641,6 +710,13 @@ let () =
          Alcotest.test_case "QS305 fires" `Quick test_qs305_fires;
          Alcotest.test_case "lint jobs identity" `Quick
            test_lint_run_jobs_identical ]);
+      ("sweep registry",
+       [ Alcotest.test_case "QS308 registered" `Quick test_qs308_registered;
+         Alcotest.test_case "QS308 builtin clean" `Quick
+           test_qs308_builtin_clean;
+         Alcotest.test_case "QS308 fires" `Quick test_qs308_fires;
+         Alcotest.test_case "QS308 in lint run" `Quick
+           test_qs308_in_lint_run ]);
       ("serve config",
        [ Alcotest.test_case "QS307 registered" `Quick test_qs307_registered;
          Alcotest.test_case "QS307 structural checks" `Quick

@@ -366,33 +366,33 @@ let golden = {gold|{
 "counters": {
   "attack.hijack.runs": 0,
   "attack.interception.runs": 0,
-  "dynamics.announces": 24019,
-  "dynamics.churn_events": 717,
-  "dynamics.delta_steps": 10768,
-  "dynamics.delta_stop_early": 23470,
+  "dynamics.announces": 21636,
+  "dynamics.churn_events": 883,
+  "dynamics.delta_steps": 10931,
+  "dynamics.delta_stop_early": 23368,
   "dynamics.full_recomputations": 220,
-  "dynamics.post_horizon_dropped": 9,
-  "dynamics.updates_emitted": 31181,
-  "dynamics.withdraws": 7162,
+  "dynamics.post_horizon_dropped": 1,
+  "dynamics.updates_emitted": 28664,
+  "dynamics.withdraws": 7028,
   "exec.chunks": <jobs-dependent>,
   "exec.sweeps": 1,
   "measurement.cells": 3985,
-  "measurement.updates": 29755,
+  "measurement.updates": 26678,
   "obs.spans": 0,
-  "route_cache.evictions": 10476,
-  "route_cache.hits": 3,
-  "route_cache.misses": 10988,
+  "route_cache.evictions": 10639,
+  "route_cache.hits": 31,
+  "route_cache.misses": 11151,
   "scenario.builds": 1,
-  "session_reset.bursts": 4,
-  "session_reset.dropped": 1426,
-  "session_reset.passed": 29755,
-  "session_reset.pushed": 31181
+  "session_reset.bursts": 7,
+  "session_reset.dropped": 1986,
+  "session_reset.passed": 26678,
+  "session_reset.pushed": 28664
 },
 "gauges": {
   "exec.jobs": <jobs-dependent>
 },
 "histograms": {
-  "dynamics.delta_frontier": {"count": 10768, <timing and buckets masked>,
+  "dynamics.delta_frontier": {"count": 10931, <timing and buckets masked>,
   "exec.busy_seconds": {"count": 1, <timing and buckets masked>,
   "exec.sweep_seconds": {"count": 1, <timing and buckets masked>,
   "exec.wait_seconds": {"count": 1, <timing and buckets masked>

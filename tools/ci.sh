@@ -26,7 +26,15 @@
 #                         half day with injected hijacks: C1c alert set
 #                         must equal the batch detector's exactly and the
 #                         windowed cells must be bit-identical to
-#                         Measurement.run's (exit 1 on any divergence).
+#                         Measurement.run's (exit 1 on any divergence);
+#   8. quicksand sweep --matrix seeds-2x2
+#                       — the tiny 2x2 matrix (two seeds x two churn
+#                         models, quarter of a Small day) three times:
+#                         jobs=1, jobs=4, and a jobs=1 rerun. Every cell's
+#                         summary.json must carry the qs-sweep/1 schema,
+#                         and the three results directories must be
+#                         byte-identical — fingerprints stable across
+#                         reruns, outputs independent of the worker count.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -52,5 +60,24 @@ dune exec bin/quicksand.exe -- check --suite delta --scale small
 echo "== quicksand serve --replay --verify-batch (Small, seed 1, half a day)"
 dune exec bin/quicksand.exe -- serve --replay --verify-batch --scale small \
   --seed 1 --days 0.5 --attacks 4 --quiet
+
+echo "== quicksand sweep --matrix seeds-2x2 (jobs 1 vs 4 vs rerun)"
+sweep_tmp="$(mktemp -d)"
+trap 'rm -rf "$sweep_tmp"' EXIT
+dune exec bin/quicksand.exe -- sweep --matrix seeds-2x2 --jobs 1 \
+  --out "$sweep_tmp/j1"
+dune exec bin/quicksand.exe -- sweep --matrix seeds-2x2 --jobs 4 \
+  --out "$sweep_tmp/j4"
+dune exec bin/quicksand.exe -- sweep --matrix seeds-2x2 --jobs 1 \
+  --out "$sweep_tmp/j1-rerun"
+for cell_summary in "$sweep_tmp"/j1/cell-*/summary.json; do
+  for key in '"schema": "qs-sweep/1"' '"fingerprint"' '"vars"' '"dynamics"' \
+             '"f3l"' '"f3r"'; do
+    grep -qF "$key" "$cell_summary" \
+      || { echo "missing $key in $cell_summary"; exit 1; }
+  done
+done
+diff -r "$sweep_tmp/j1" "$sweep_tmp/j4"
+diff -r "$sweep_tmp/j1" "$sweep_tmp/j1-rerun"
 
 echo "CI OK"
