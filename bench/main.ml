@@ -558,6 +558,19 @@ let () =
             (Staged.stage (fun () -> Prefix_trie.longest_match addr trie));
           Test.make ~name:"substrate-mrt-decode"
             (Staged.stage (fun () -> Mrt.decode mrt_blob));
+          (* Trace-shaped churn: a full simulated day of heavy-tailed
+             up/down renewals across 64 entities, the stream Dynamics
+             consumes under churn=trace-pareto. *)
+          Test.make ~name:"churn-trace-generate"
+            (Staged.stage (fun () ->
+                 Churn.generate ~rng:(Rng.of_int 11) Churn.pareto_day
+                   ~entities:64 ~duration:86_400.));
+          Test.make ~name:"M2-consensus-epochs"
+            (Staged.stage (fun () ->
+                 Consensus_dynamics.generate ~rng:(Rng.of_int 12)
+                   ~gen:Consensus.small_params ~n_epochs:24
+                   small.Scenario.graph small.Scenario.addressing
+                   small.Scenario.consensus));
           (* The streaming service's sustained-ingestion kernels: 2048
              updates per run, so updates/sec = 2048 / time-per-run. *)
           Test.make ~name:"S1-serve-window-apply"

@@ -284,20 +284,66 @@ let asymmetry_cmd =
     Term.(const run $ seed $ scale $ pairs)
 
 let long_term_cmd =
-  let run seed scale horizon jobs obs =
+  let run seed scale horizon consensus jobs obs =
     with_obs obs (fun () ->
         let s = build_scenario seed scale in
-        let rng = Scenario.rng_for s "long-term" in
         with_exec jobs (fun exec ->
-            Long_term.print fmt
-              (Long_term.compare_designs ~rng ~horizon_days:horizon ~exec s)))
+            match consensus with
+            | `Frozen ->
+                let rng = Scenario.rng_for s "long-term" in
+                Long_term.print fmt
+                  (Long_term.compare_designs ~rng ~horizon_days:horizon ~exec s)
+            | (`Live_hourly | `Live_heavy) as c ->
+                (* Frozen vs living under the stock 3/30 design: both arms
+                   replay the same stream (fresh "long-term" RNG each), so
+                   the adversary draw and client streams match and the
+                   delta is attributable to consensus dynamics alone. *)
+                let params =
+                  match c with
+                  | `Live_hourly -> Consensus_dynamics.default_params
+                  | `Live_heavy -> Consensus_dynamics.heavy_params
+                in
+                let config =
+                  { Long_term.default_config with
+                    Long_term.horizon_days = horizon }
+                in
+                let living =
+                  Long_term.living_consensus ~params ~horizon_days:horizon s
+                in
+                let frozen_o =
+                  Long_term.run ~rng:(Scenario.rng_for s "long-term")
+                    ~config ~exec s
+                in
+                let living_o =
+                  Long_term.run ~rng:(Scenario.rng_for s "long-term")
+                    ~config ~living ~exec s
+                in
+                Long_term.print fmt
+                  [ { frozen_o with
+                      Long_term.label =
+                        frozen_o.Long_term.label ^ ", frozen" };
+                    { living_o with
+                      Long_term.label =
+                        living_o.Long_term.label ^ ", living" } ]))
   in
   let horizon =
     Arg.(value & opt int 120 & info [ "horizon" ] ~docv:"DAYS"
            ~doc:"Days of daily communication to simulate.")
   in
+  let consensus =
+    Arg.(value
+         & opt (enum [ ("frozen", `Frozen); ("live-hourly", `Live_hourly);
+                       ("live-heavy", `Live_heavy) ])
+             `Frozen
+         & info [ "consensus" ] ~docv:"MODEL"
+             ~doc:"Consensus model: $(b,frozen) (the snapshot, §2 design \
+                   comparison), or $(b,live-hourly)/$(b,live-heavy) \
+                   (hourly epochs with relay arrival, departure and \
+                   bandwidth drift — prints the frozen-vs-living pair for \
+                   the stock guard design).")
+  in
   Cmd.v (Cmd.info "long-term" ~doc:"M2: guard designs vs long-term AS-level compromise")
-    Term.(const run $ seed $ scale $ horizon $ jobs $ obs_opts)
+    Term.(const run $ seed $ scale $ horizon $ consensus $ jobs $ obs_opts)
 
 let topology_cmd =
   let run seed scale out =
@@ -932,6 +978,16 @@ let check_cmd =
       Report.differential ~json fmt outcomes;
       if not (Differential.all_ok outcomes) then failed := true
     in
+    let run_churn () =
+      let seeds = List.init (if seeds = 0 then 5 else seeds) (fun i -> i + 1) in
+      if not json then
+        Format.printf
+          "churn: %d seeds, trace-generator shape/structure/identity laws@."
+          (List.length seeds);
+      let outcomes = Churn_check.run ~seeds () in
+      Report.differential ~json fmt outcomes;
+      if not (Differential.all_ok outcomes) then failed := true
+    in
     with_obs obs (fun () ->
         match suite with
         | `Conform -> run_conform ()
@@ -939,16 +995,17 @@ let check_cmd =
         | `Fuzz -> run_fuzz ()
         | `Static -> run_static ()
         | `Delta -> run_delta ()
+        | `Churn -> run_churn ()
         | `All ->
             run_conform (); run_diff (); run_fuzz (); run_static ();
-            run_delta ());
+            run_delta (); run_churn ());
     if !failed then Stdlib.exit 1
   in
   let suite =
     Arg.(value
          & opt (enum [ ("conform", `Conform); ("diff", `Diff);
                        ("fuzz", `Fuzz); ("static", `Static);
-                       ("delta", `Delta); ("all", `All) ])
+                       ("delta", `Delta); ("churn", `Churn); ("all", `All) ])
              `All
          & info [ "suite" ] ~docv:"SUITE"
              ~doc:"Which harness to run: $(b,conform) (streaming invariant \
@@ -958,14 +1015,16 @@ let check_cmd =
                    injection), $(b,static) (dynamic paths and attack wins \
                    audited against the static valley-free bounds), \
                    $(b,delta) (incremental delta repair vs full recompute: \
-                   byte-identical streams and final tables), or $(b,all).")
+                   byte-identical streams and final tables), $(b,churn) \
+                   (trace-churn generator: distribution shape, stream \
+                   structure, byte-identity), or $(b,all).")
   in
   let seeds =
     Arg.(value & opt int 0 & info [ "seeds" ] ~docv:"N"
            ~doc:"Seed count for $(b,diff) (default 2), $(b,fuzz) \
-                 (default 200), $(b,static) (default 5) and $(b,delta) \
-                 (default 5). Ignored by $(b,conform), which uses \
-                 $(b,--seed).")
+                 (default 200), $(b,static) (default 5), $(b,delta) \
+                 (default 5) and $(b,churn) (default 5). Ignored by \
+                 $(b,conform), which uses $(b,--seed).")
   in
   Cmd.v
     (Cmd.info "check"

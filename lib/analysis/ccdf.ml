@@ -1,11 +1,9 @@
 type t = { sorted : float array }
 
-let of_samples = function
-  | [] -> invalid_arg "Ccdf.of_samples: empty sample"
-  | xs ->
-      let sorted = Array.of_list xs in
-      Array.sort Float.compare sorted;
-      { sorted }
+let of_samples xs =
+  let sorted = Array.of_list xs in
+  Array.sort Float.compare sorted;
+  { sorted }
 
 let size t = Array.length t.sorted
 
@@ -21,7 +19,10 @@ let lower_bound t x =
 
 let at t x =
   let n = Array.length t.sorted in
-  float_of_int (n - lower_bound t x) /. float_of_int n
+  (* Empty sample: no sample is >= x, so the tail mass is 0 everywhere
+     (and not the 0/0 = nan the unguarded division would produce). *)
+  if n = 0 then 0.
+  else float_of_int (n - lower_bound t x) /. float_of_int n
 
 let points t =
   let n = Array.length t.sorted in
@@ -35,9 +36,13 @@ let points t =
 let eval_at t xs = List.map (fun x -> (x, at t x)) xs
 
 let quantile_where t q =
-  match List.find_map (fun (x, p) -> if p <= q then Some x else None) (points t) with
-  | Some _ as found -> found
-  | None ->
-      (* [q] is below the tail mass at the maximum: no sample value has
-         [at t x <= q], and the largest sample is the tightest answer. *)
-      Some t.sorted.(Array.length t.sorted - 1)
+  if Array.length t.sorted = 0 then None
+  else
+    match
+      List.find_map (fun (x, p) -> if p <= q then Some x else None) (points t)
+    with
+    | Some _ as found -> found
+    | None ->
+        (* [q] is below the tail mass at the maximum: no sample value has
+           [at t x <= q], and the largest sample is the tightest answer. *)
+        Some t.sorted.(Array.length t.sorted - 1)

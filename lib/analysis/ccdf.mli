@@ -4,10 +4,13 @@
 type t
 
 val of_samples : float list -> t
-(** @raise Invalid_argument on an empty sample. *)
+(** Total, including on the empty sample: an empty CCDF has {!size} 0,
+    {!at} 0 everywhere, no {!points} and no quantiles — it never raises
+    and never manufactures a phantom sample. *)
 
 val at : t -> float -> float
-(** [at t x] = fraction of samples [>= x], in [\[0, 1\]]. *)
+(** [at t x] = fraction of samples [>= x], in [\[0, 1\]]. [0.] everywhere
+    on an empty sample (never [nan]). *)
 
 val points : t -> (float * float) list
 (** The distinct sample values [x] ascending, each with [at t x]. *)
@@ -23,5 +26,5 @@ val quantile_where : t -> float -> float option
     "the value past which only a fraction q of cases remain". When [q] is
     below the tail mass at the maximum (no sample satisfies the bound —
     e.g. [q = 0], or heavy ties at the top), the maximum sample is
-    returned, so the result is always [Some] on the non-empty samples
-    {!of_samples} guarantees. *)
+    returned — always [Some] on a non-empty sample, [None] only on the
+    empty one. *)

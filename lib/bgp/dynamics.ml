@@ -19,6 +19,7 @@ type config = {
   pathological_multiplier : float;
   route_cache_size : int;
   delta_states : int;
+  session_churn : Churn.config option;
 }
 
 let day = 86_400.
@@ -43,7 +44,8 @@ let default_config =
     pathological_prefixes = 2;
     pathological_multiplier = 2600.;
     route_cache_size = 512;
-    delta_states = 512 }
+    delta_states = 512;
+    session_churn = None }
 
 let short_config =
   { default_config with
@@ -114,6 +116,8 @@ type event =
   | Global_fail
   | Global_restore of (Asn.t * Asn.t) * int list
   | Reset of int                               (* session index *)
+  | Trace_down of int                          (* trace-churn entity index *)
+  | Trace_up of int
 
 type state = {
   cfg : config;
@@ -150,6 +154,16 @@ type state = {
          single retained fixed point ({!Propagate.Delta.update} swaps
          the announcement metadata in O(1)). *)
   mutable delta_tick : int;
+  trace_entities : Asn.t array;
+      (* trace-churn entity index -> origin AS; distinct origins sorted by
+         [Asn.compare], empty unless [cfg.session_churn] is set *)
+  trace_links : (Asn.t * Asn.t) list array;
+      (* entity -> links its last Trace_down actually failed (links some
+         other process had already failed are excluded: their own restore
+         owns them) *)
+  trace_affected : int list array;
+      (* entity -> prefixes recomputed at its last Trace_down; its
+         Trace_up recomputes the same set *)
   events : event Pqueue.t;
   outq : Update.t Pqueue.t;
   emit : Update.t -> unit;
@@ -486,6 +500,49 @@ let handle_global_restore st now (a, b) affected =
   st.failed <- Link_set.remove a b st.failed;
   recompute st now affected
 
+(* Trace-shaped session churn ([cfg.session_churn]): entity [e]'s origin
+   AS drops off the network — every uplink it has goes down at once — and
+   comes back when the generator's matching Up event lands. Only links
+   this handler itself failed are recorded and later restored, so
+   Down/Up pairs compose with Churn/Global perturbations without
+   double-failing or double-restoring a link. *)
+let handle_trace_down st now e =
+  st.n_churn <- st.n_churn + 1;
+  let o = st.trace_entities.(e) in
+  let g = st.w.graph in
+  let uplinks =
+    List.filter
+      (fun up -> not (Link_set.mem o up st.failed))
+      (As_graph.providers g o @ As_graph.peers g o)
+  in
+  if uplinks <> [] then begin
+    List.iter (fun up -> st.failed <- Link_set.add o up st.failed) uplinks;
+    let affected =
+      cap st
+        (dedup
+           (prefixes_of_origin st o
+            @ List.concat_map (prefixes_of_origin st)
+                (cap st (As_graph.customers g o))))
+    in
+    st.trace_links.(e) <- List.map (fun up -> (o, up)) uplinks;
+    st.trace_affected.(e) <- affected;
+    recompute st now affected
+  end
+
+let trace_restore st e =
+  List.iter
+    (fun (a, b) -> st.failed <- Link_set.remove a b st.failed)
+    st.trace_links.(e);
+  st.trace_links.(e) <- []
+
+let handle_trace_up st now e =
+  if st.trace_links.(e) <> [] then begin
+    let affected = st.trace_affected.(e) in
+    trace_restore st e;
+    st.trace_affected.(e) <- [];
+    recompute st now affected
+  end
+
 let handle_reset st now s_idx =
   let session = st.sessions.(s_idx) in
   let id = session.Collector.id in
@@ -519,7 +576,7 @@ let poisson_times rng rate duration =
     loop 0. []
   end
 
-let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
+let run ~rng ?trace_rng ?(on_initial = fun _ -> ()) cfg w ~emit =
   Span.with_ ~name:"dynamics.run" @@ fun () ->
   let sessions = Array.of_list (Collector.all_sessions w.collectors) in
   let announced = Array.of_list (Addressing.announced w.addressing) in
@@ -570,6 +627,12 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
     |> List.map (fun (a, b, _) -> (a, b))
     |> Array.of_list
   in
+  let trace_entities =
+    match cfg.session_churn with
+    | None -> [||]
+    | Some _ ->
+        Array.to_list origins |> List.sort_uniq Asn.compare |> Array.of_list
+  in
   let st =
     { cfg; w; rng; sessions; pfxs; origins;
       prepend = Array.make n_pfx 0;
@@ -602,6 +665,9 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
       seen_version = Array.make n_pfx (-1);
       delta = Hashtbl.create (max 16 (min cfg.delta_states 1024));
       delta_tick = 0;
+      trace_entities;
+      trace_links = Array.make (Array.length trace_entities) [];
+      trace_affected = Array.make (Array.length trace_entities) [];
       events = Pqueue.create ();
       outq = Pqueue.create ();
       emit;
@@ -652,6 +718,27 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
          (fun t -> Pqueue.push st.events t (Reset s_idx))
          (poisson_times rng cfg.resets_per_session cfg.duration))
     sessions;
+  (* Trace-shaped session churn rides its own stream ([trace_rng],
+     normally [Scenario.rng_for _ "trace-churn"]; a split of [rng]
+     otherwise), so switching a scenario's trace model never re-times the
+     Poisson processes above. *)
+  (match cfg.session_churn with
+   | None -> ()
+   | Some chcfg when Array.length trace_entities > 0 ->
+       let trng =
+         match trace_rng with Some r -> r | None -> Rng.split rng
+       in
+       List.iter
+         (fun (ev : Churn.event) ->
+            let k =
+              match ev.Churn.action with
+              | Churn.Down -> Trace_down ev.Churn.entity
+              | Churn.Up -> Trace_up ev.Churn.entity
+            in
+            Pqueue.push st.events ev.Churn.time k)
+         (Churn.generate ~rng:trng chcfg
+            ~entities:(Array.length trace_entities) ~duration:cfg.duration)
+   | Some _ -> ());
   (* Main loop. *)
   let rec loop () =
     match Pqueue.pop st.events with
@@ -664,7 +751,9 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
            | Revert (perturbation, affected) -> handle_revert st now perturbation affected
            | Global_fail -> handle_global_fail st now
            | Global_restore (link, affected) -> handle_global_restore st now link affected
-           | Reset s_idx -> handle_reset st now s_idx);
+           | Reset s_idx -> handle_reset st now s_idx
+           | Trace_down e -> handle_trace_down st now e
+           | Trace_up e -> handle_trace_up st now e);
           loop ()
         end
         else begin
@@ -676,7 +765,8 @@ let run ~rng ?(on_initial = fun _ -> ()) cfg w ~emit =
            | Revert (perturbation, _) -> apply_perturbation st perturbation
            | Global_restore ((a, b), _) ->
                st.failed <- Link_set.remove a b st.failed
-           | Churn _ | Global_fail | Reset _ -> ());
+           | Trace_up e -> trace_restore st e
+           | Churn _ | Global_fail | Reset _ | Trace_down _ -> ());
           loop ()
         end
   in

@@ -62,6 +62,16 @@ type config = {
                                      point, it just does O(affected) work
                                      ([check --suite delta] enforces this)
                                      (default: 512). *)
+  session_churn : Churn.config option;
+      (** trace-shaped session churn: per-origin heavy-tailed up/down
+          alternating-renewal processes ({!Qs_churn.Churn}) layered on
+          top of the Poisson link-failure processes above. A Down event
+          fails every uplink of its origin AS at once (skipping links
+          some other process already failed); the matching Up restores
+          exactly those links — even past the horizon, so
+          [final_failed] still returns to baseline. [None] (the
+          default) keeps the stream byte-identical to before the field
+          existed. *)
 }
 
 val default_config : config
@@ -118,9 +128,13 @@ type stats = {
 }
 
 val run :
-  rng:Rng.t -> ?on_initial:(initial -> unit) -> config -> world ->
-  emit:(Update.t -> unit) -> initial * stats
+  rng:Rng.t -> ?trace_rng:Rng.t -> ?on_initial:(initial -> unit) ->
+  config -> world -> emit:(Update.t -> unit) -> initial * stats
 (** Runs the simulation, feeding every UPDATE to [emit] in time order.
     [on_initial] is called with the time-0 tables {e before} any update is
     emitted, so consumers can set their baselines. Deterministic given
-    [rng] and inputs. *)
+    [rng] and inputs. [trace_rng] seeds the trace-churn generator when
+    [session_churn] is set (callers with a scenario pass
+    [Scenario.rng_for _ "trace-churn"]; defaults to a split of [rng]) —
+    a dedicated stream, so enabling trace churn never re-times the
+    Poisson processes. *)

@@ -1,0 +1,159 @@
+(* The statistical harness for the trace-churn generator (lib/churn):
+   distribution-shape laws on direct samples from the session-length laws,
+   structural laws on generated event streams, and byte-identity across
+   reruns and worker counts. Reported as Differential.outcome rows so the
+   CLI reuses the diff renderer unchanged. *)
+
+let laws = [ ("trace-pareto", Churn.pareto_day);
+             ("trace-lognormal", Churn.lognormal_day) ]
+
+let n_samples = 4_000
+
+(* Empirical means of heavy-tailed laws only concentrate when the variance
+   is finite: Pareto needs alpha > 2, log-normal always qualifies. *)
+let finite_variance = function
+  | Churn.Pareto { alpha; _ } -> alpha > 2.
+  | Churn.Log_normal _ -> true
+
+let sample_sorted rng law n =
+  let a = Array.init n (fun _ -> Churn.sample rng law) in
+  Array.sort Float.compare a;
+  a
+
+(* sup_x |F_n(x) - F(x)| over the sample points: at each order statistic
+   the empirical CDF jumps from i/n to (i+1)/n, so the sup is attained at
+   one of the two sides of a jump. *)
+let ks_distance law sorted =
+  let n = float_of_int (Array.length sorted) in
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+       let f = Churn.cdf law x in
+       let lo = Float.abs (f -. (float_of_int i /. n)) in
+       let hi = Float.abs (f -. (float_of_int (i + 1) /. n)) in
+       if lo > !d then d := lo;
+       if hi > !d then d := hi)
+    sorted;
+  !d
+
+let outcome seed pair experiment ok detail =
+  { Differential.seed; pair; experiment; ok;
+    detail = (if ok then None else Some detail) }
+
+(* Distribution-shape laws for one session-length law: empirical mean
+   within 15% of the analytic mean (finite-variance laws only — a
+   4000-sample mean of an infinite-variance Pareto proves nothing),
+   empirical median within 10%, and the Kolmogorov-Smirnov sup-distance
+   below 2/sqrt(n) (the ~99.9% critical value). *)
+let shape_checks seed pair side rng law =
+  let sorted = sample_sorted rng law n_samples in
+  let n = Array.length sorted in
+  let mean_rows =
+    if not (finite_variance law) then []
+    else begin
+      let m = Array.fold_left ( +. ) 0. sorted /. float_of_int n in
+      let want = Churn.mean law in
+      let rel = Float.abs (m -. want) /. want in
+      [ outcome seed pair (side ^ "-mean") (rel <= 0.15)
+          (Printf.sprintf "%s: empirical mean %.3f vs %.3f (rel %.3f > 0.15)"
+             (Churn.law_to_string law) m want rel) ]
+    end
+  in
+  let med = sorted.((n - 1) / 2) in
+  let want_med = Churn.median law in
+  let rel_med = Float.abs (med -. want_med) /. want_med in
+  let ks = ks_distance law sorted in
+  let ks_bound = 2.0 /. sqrt (float_of_int n) in
+  mean_rows
+  @ [ outcome seed pair (side ^ "-median") (rel_med <= 0.10)
+        (Printf.sprintf "%s: empirical median %.3f vs %.3f (rel %.3f > 0.10)"
+           (Churn.law_to_string law) med want_med rel_med);
+      outcome seed pair (side ^ "-ks") (ks <= ks_bound)
+        (Printf.sprintf "%s: KS distance %.4f > %.4f"
+           (Churn.law_to_string law) ks ks_bound) ]
+
+let gen_entities = 48
+let gen_duration = 43_200.
+
+let generate_events seed config =
+  let rng = Rng.of_int (seed * 1_000_003 + 7) in
+  Churn.generate ~rng config ~entities:gen_entities ~duration:gen_duration
+
+(* Structural laws on a generated stream: global time-monotonicity (the
+   generator sorts; a violation means the comparator or the sort broke),
+   strict per-entity D/U alternation starting Down and ending Up (every
+   session closes, even past the horizon), equal Down and Up counts per
+   entity, and strictly positive session/gap durations. *)
+let stream_checks seed pair config =
+  let events = generate_events seed config in
+  let monotone = ref true in
+  let last_t = ref neg_infinity in
+  List.iter
+    (fun (e : Churn.event) ->
+       if e.Churn.time < !last_t then monotone := false;
+       last_t := e.Churn.time)
+    events;
+  let last_action : (int, Churn.action) Hashtbl.t =
+    Hashtbl.create gen_entities in
+  let alternates = ref true in
+  List.iter
+    (fun (e : Churn.event) ->
+       (match Hashtbl.find_opt last_action e.Churn.entity, e.Churn.action with
+        | None, Churn.Down | Some Churn.Up, Churn.Down
+        | Some Churn.Down, Churn.Up -> ()
+        | None, Churn.Up | Some Churn.Down, Churn.Down
+        | Some Churn.Up, Churn.Up -> alternates := false);
+       Hashtbl.replace last_action e.Churn.entity e.Churn.action)
+    events;
+  let closed = Hashtbl.fold (fun _ a ok -> ok && a = Churn.Up) last_action true in
+  let downs = List.length (List.filter (fun (e : Churn.event) ->
+      e.Churn.action = Churn.Down) events) in
+  let ups = List.length events - downs in
+  let up_durs, down_durs = Churn.durations events in
+  let positive = List.for_all (fun d -> d > 0.) up_durs
+                 && List.for_all (fun d -> d > 0.) down_durs in
+  [ outcome seed pair "monotone" !monotone "event times not nondecreasing";
+    outcome seed pair "alternation" (!alternates && closed)
+      "entity stream is not a strict D/U alternation closing Up";
+    outcome seed pair "accounting"
+      (downs = ups && List.length down_durs = downs && positive)
+      (Printf.sprintf
+         "accounting: %d downs vs %d ups, %d paired outages%s"
+         downs ups (List.length down_durs)
+         (if positive then "" else ", non-positive duration")) ]
+
+let render seed (_, config) =
+  Churn.to_string (generate_events seed config)
+
+(* Byte-identity: the rendered stream is a pure function of (seed, law) —
+   identical on rerun, and identical whether the renders run as tasks on
+   a 1-worker or a 4-worker pool (the generator takes no pool, so any
+   divergence means hidden global state). *)
+let identity_checks seed =
+  let with_jobs jobs =
+    Pool.with_pool ~jobs @@ fun pool ->
+    Pool.map_list pool (render seed) laws
+  in
+  let once = List.map (render seed) laws in
+  let again = List.map (render seed) laws in
+  let j1 = with_jobs 1 in
+  let j4 = with_jobs 4 in
+  [ outcome seed "trace-identity" "rerun" (once = again)
+      "regenerating from the same seed changed the rendered stream";
+    outcome seed "trace-identity" "jobs-1-vs-4" (j1 = j4 && j1 = once)
+      "worker count leaked into the rendered stream" ]
+
+let run ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
+  List.concat_map
+    (fun seed ->
+       List.concat_map
+         (fun (pair, (config : Churn.config)) ->
+            let rng = Rng.of_int (seed * 9_176_141 + 13) in
+            let up_rng = Rng.split rng in
+            let down_rng = Rng.split rng in
+            shape_checks seed pair "up" up_rng config.Churn.up_law
+            @ shape_checks seed pair "down" down_rng config.Churn.down_law
+            @ stream_checks seed pair config)
+         laws
+       @ identity_checks seed)
+    seeds

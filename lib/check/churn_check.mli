@@ -1,0 +1,22 @@
+(** The [quicksand check --suite churn] harness: statistical and
+    structural laws for the trace-churn generator (lib/churn).
+
+    Per seed and per shipped session-length configuration
+    ({!Churn.pareto_day}, {!Churn.lognormal_day}) the suite checks:
+
+    - {e shape}: empirical mean of direct samples within 15% of the
+      analytic mean (finite-variance laws only), empirical median within
+      10%, Kolmogorov-Smirnov sup-distance below [2/sqrt n];
+    - {e structure} of a generated stream: global time-monotonicity,
+      strict per-entity Down/Up alternation starting Down and closing Up,
+      equal Down/Up counts, strictly positive paired durations;
+    - {e identity}: the rendered stream ({!Churn.to_string}) is
+      byte-identical on rerun and across 1- vs 4-worker pools.
+
+    Results reuse {!Differential.outcome} ([pair] = law or
+    ["trace-identity"], [experiment] = check name), so
+    {!Report.differential} renders them unchanged. *)
+
+val run : ?seeds:int list -> unit -> Differential.outcome list
+(** Run every check on every seed (default [[1; 2; 3; 4; 5]]).
+    Deterministic: no wall clock, no global state. *)

@@ -82,11 +82,23 @@ let draw_malicious ~rng ~f scenario =
     Asn.Set.empty
     (As_graph.ases scenario.Scenario.graph)
 
+let day_seconds = 86_400.
+
 (* One client's daily-communication history, self-contained so it can run
    as a pool task: draws come only from [rng] (this client's sibling
-   stream) and routing goes through the per-domain caches of [pool]. *)
-let simulate_client ~rng ~config ~pool ~malicious (scenario : Scenario.t) =
-  let consensus = scenario.Scenario.consensus in
+   stream) and routing goes through the per-domain caches of [pool].
+   Under a living consensus ([?living]) every day consults the epoch
+   covering it instead of the frozen snapshot, and departed guards are
+   replaced before the day's circuit; with [living = None] the code path
+   and RNG draw sequence are exactly the frozen ones. *)
+let simulate_client ~rng ~config ~pool ~malicious ?living
+    (scenario : Scenario.t) =
+  let consensus_at d =
+    match living with
+    | None -> scenario.Scenario.consensus
+    | Some cd ->
+        Consensus_dynamics.at_time cd (float_of_int (d - 1) *. day_seconds)
+  in
   let client_as = Scenario.random_client_as ~rng scenario in
   let destination = Scenario.random_client_as ~rng scenario in
   let dest_ann =
@@ -96,12 +108,18 @@ let simulate_client ~rng ~config ~pool ~malicious (scenario : Scenario.t) =
         (* every AS has prefixes by construction *)
         invalid_arg "Long_term: destination AS originates no prefix"
   in
-  let guards = ref (Path_selection.pick_guards ~rng consensus ~n:config.n_guards) in
+  let guards =
+    ref (Path_selection.pick_guards ~rng (consensus_at 1) ~n:config.n_guards)
+  in
   let guards_age = ref 0 in
   let compromised = ref None in
   let exposed_total = ref 0. and exposed_days = ref 0 in
   let day = ref 1 in
   while !compromised = None && !day <= config.horizon_days do
+    let consensus = consensus_at !day in
+    (* under a living consensus, departed guards are replaced first *)
+    if living <> None && config.use_guards then
+      guards := fst (Path_selection.refresh_guards ~rng consensus !guards);
     (* today's entry relay *)
     let entry =
       if config.use_guards then Rng.pick_list rng !guards
@@ -131,7 +149,30 @@ let simulate_client ~rng ~config ~pool ~malicious (scenario : Scenario.t) =
   done;
   (!compromised, !exposed_total, !exposed_days)
 
-let run ~rng ?(config = default_config) ?pool ?malicious ?exec
+(* A living consensus for [scenario] covering [horizon_days]:
+   hourly-or-whatever [params.epoch_seconds] epochs derived from the
+   scenario's frozen snapshot, seeded off the scenario's dedicated
+   "consensus-epochs" stream, so it is a pure function of (scenario,
+   params, horizon). *)
+let living_consensus ?(params = Consensus_dynamics.default_params)
+    ~horizon_days (scenario : Scenario.t) =
+  let gen =
+    match scenario.Scenario.size with
+    | Scenario.Paper -> Consensus.paper_params
+    | Scenario.Small -> Consensus.small_params
+  in
+  let n_epochs =
+    max 1
+      (int_of_float
+         (Float.ceil
+            (float_of_int horizon_days *. day_seconds /. params.epoch_seconds)))
+  in
+  Consensus_dynamics.generate
+    ~rng:(Scenario.rng_for scenario "consensus-epochs")
+    ~params ~gen ~n_epochs scenario.Scenario.graph
+    scenario.Scenario.addressing scenario.Scenario.consensus
+
+let run ~rng ?(config = default_config) ?pool ?malicious ?living ?exec
     (scenario : Scenario.t) =
   let workers = match exec with Some p -> p | None -> Pool.default () in
   let pool =
@@ -150,7 +191,8 @@ let run ~rng ?(config = default_config) ?pool ?malicious ?exec
      outcome is identical at any worker count. *)
   let per_client =
     Pool.map_seeded workers ~rng
-      (fun rng () -> simulate_client ~rng ~config ~pool ~malicious scenario)
+      (fun rng () ->
+         simulate_client ~rng ~config ~pool ~malicious ?living scenario)
       (Array.make config.n_clients ())
   in
   let first_compromise = ref [] in

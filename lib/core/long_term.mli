@@ -51,14 +51,31 @@ type routing_pool
 val make_pool :
   rng:Rng.t -> Scenario.t -> failure_variants:int -> routing_pool
 
+val living_consensus :
+  ?params:Consensus_dynamics.params -> horizon_days:int -> Scenario.t ->
+  Consensus_dynamics.t
+(** A living consensus covering [horizon_days]: epochs derived from the
+    scenario's frozen snapshot with the generation params matching the
+    scenario size, seeded off the scenario's dedicated
+    ["consensus-epochs"] stream — a pure function of (scenario, params,
+    horizon). *)
+
 val run :
   rng:Rng.t -> ?config:config -> ?pool:routing_pool -> ?malicious:Asn.Set.t ->
-  ?exec:Pool.t -> Scenario.t -> outcome
+  ?living:Consensus_dynamics.t -> ?exec:Pool.t -> Scenario.t -> outcome
 (** One configuration. [malicious] overrides the random adversary draw
     (used to compare designs against the same adversary). Clients simulate
     as tasks on [exec] (default {!Pool.default}), one {!Rng.split} stream
     per client, reduced in client order — the outcome is byte-identical at
-    any worker count, and deterministic given [rng]. *)
+    any worker count, and deterministic given [rng].
+
+    [living] runs the experiment under a living consensus
+    ({!Consensus_dynamics}, e.g. {!living_consensus}): each simulated day
+    consults the epoch covering it — entry/exit pools and bandwidth
+    weights move, and a client whose guard departed replaces it
+    ({!Path_selection.refresh_guards}) before building the day's circuit.
+    Omitted, the frozen snapshot and the pre-existing draw sequence are
+    used unchanged. *)
 
 val compare_designs :
   rng:Rng.t -> ?horizon_days:int -> ?f:float -> ?n_draws:int -> ?exec:Pool.t ->

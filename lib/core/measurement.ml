@@ -245,7 +245,12 @@ let run ?(dynamics = Dynamics.default_config) ?filter ?(no_filter = false)
       initial
   in
   let initial, dyn_stats =
-    Dynamics.run ~rng ~on_initial dynamics scenario.Scenario.world ~emit
+    (* The trace-churn generator (when [dynamics.session_churn] is set)
+       rides the scenario's dedicated stream so the Poisson processes on
+       [rng] are untouched by the choice of trace model. *)
+    Dynamics.run ~rng
+      ~trace_rng:(Scenario.rng_for scenario "trace-churn")
+      ~on_initial dynamics scenario.Scenario.world ~emit
   in
   (match filter_state with
    | Some f -> Session_reset.flush f

@@ -56,6 +56,13 @@ val rng_for : t -> string -> Rng.t
     truncation through which two names (or two (seed, name) pairs) can
     collide onto one stream. *)
 
+val stream_names : string list
+(** Every stream name the codebase passes to {!rng_for}, sorted — the
+    audit surface for stream independence. The qcheck property in
+    test/test_core.ml derives all of them across random seeds and checks
+    the seeds are pairwise distinct; a new generator's stream name
+    belongs in this list. *)
+
 val guard_announcement : t -> Relay.t -> Announcement.t option
 (** The legitimate BGP announcement covering a relay: its Tor prefix with
     its true origin — what a hijacker must compete with. [None] if the

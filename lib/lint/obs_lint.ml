@@ -25,6 +25,8 @@ let () =
   force Pool.jobs;
   force Route_cache.zero_stats;
   force Session_reset.default_config;
+  force Churn.pareto_day;
+  force Consensus_dynamics.default_params;
   force Dynamics.default_config;
   force Hijack.is_captured;
   force Interception.run;

@@ -1,4 +1,6 @@
-type churn = Calm | Baseline | Heavy
+type churn = Calm | Baseline | Heavy | Trace_pareto | Trace_lognormal
+
+type consensus = Frozen | Frozen_m2 | Live_hourly | Live_heavy
 
 type guards = No_guards | Guards of { n : int; rotation_days : int }
 
@@ -7,6 +9,7 @@ type vars = {
   seed : int;
   days : float;
   churn : churn;
+  consensus : consensus;
   cache : int;
   delta : int;
   obs : bool;
@@ -20,6 +23,7 @@ let default_vars =
     seed = 1;
     days = 1.;
     churn = Baseline;
+    consensus = Frozen;
     cache = 512;
     delta = 512;
     obs = true;
@@ -31,7 +35,11 @@ let known_keys =
   [ ("size", "scenario scale: small | paper");
     ("seed", "scenario seed (non-negative integer)");
     ("days", "simulated measurement horizon in days, in (0, 366]");
-    ("churn", "churn model: calm | baseline | heavy");
+    ("churn", "churn model: calm | baseline | heavy | trace-pareto | \
+               trace-lognormal");
+    ("consensus", "M2 consensus model: frozen (no M2 stage) | frozen-m2 \
+                   (M2 on the frozen snapshot) | live-hourly | live-heavy \
+                   (M2 on hourly living epochs)");
     ("cache", "route-cache LRU capacity; 0 disables");
     ("delta", "delta-state LRU capacity; 0 disables");
     ("obs", "qs_obs instrumentation during the cell: on | off");
@@ -44,11 +52,28 @@ let churn_to_string = function
   | Calm -> "calm"
   | Baseline -> "baseline"
   | Heavy -> "heavy"
+  | Trace_pareto -> "trace-pareto"
+  | Trace_lognormal -> "trace-lognormal"
 
 let churn_of_string = function
   | "calm" -> Some Calm
   | "baseline" -> Some Baseline
   | "heavy" -> Some Heavy
+  | "trace-pareto" -> Some Trace_pareto
+  | "trace-lognormal" -> Some Trace_lognormal
+  | _ -> None
+
+let consensus_to_string = function
+  | Frozen -> "frozen"
+  | Frozen_m2 -> "frozen-m2"
+  | Live_hourly -> "live-hourly"
+  | Live_heavy -> "live-heavy"
+
+let consensus_of_string = function
+  | "frozen" -> Some Frozen
+  | "frozen-m2" -> Some Frozen_m2
+  | "live-hourly" -> Some Live_hourly
+  | "live-heavy" -> Some Live_heavy
   | _ -> None
 
 let guards_to_string = function
@@ -108,7 +133,19 @@ let set v ~key ~value =
   | "churn" ->
       (match churn_of_string value with
        | Some c -> Ok { v with churn = c }
-       | None -> bad "churn: expected calm | baseline | heavy, got %S" value)
+       | None ->
+           bad
+             "churn: expected calm | baseline | heavy | trace-pareto | \
+              trace-lognormal, got %S"
+             value)
+  | "consensus" ->
+      (match consensus_of_string value with
+       | Some c -> Ok { v with consensus = c }
+       | None ->
+           bad
+             "consensus: expected frozen | frozen-m2 | live-hourly | \
+              live-heavy, got %S"
+             value)
   | "cache" ->
       as_int "cache" (fun i ->
           if i < 0 then bad "cache: must be >= 0, got %d" i
@@ -137,14 +174,15 @@ let set v ~key ~value =
           else Ok { v with threshold = x })
   | k -> bad "unknown key %S (see `quicksand sweep --list`)" k
 
-(* Sorted by key: adversary, cache, churn, days, delta, guards, obs,
-   threshold. Seed and size are carried by the fingerprint's own identity
-   section, so repeating them here would double-count nothing and desync
-   eventually. *)
+(* Sorted by key: adversary, cache, churn, consensus, days, delta, guards,
+   obs, threshold. Seed and size are carried by the fingerprint's own
+   identity section, so repeating them here would double-count nothing and
+   desync eventually. *)
 let canonical_bindings v =
   [ ("adversary", float_str v.adversary);
     ("cache", string_of_int v.cache);
     ("churn", churn_to_string v.churn);
+    ("consensus", consensus_to_string v.consensus);
     ("days", float_str v.days);
     ("delta", string_of_int v.delta);
     ("guards", guards_to_string v.guards);
@@ -180,6 +218,13 @@ let dynamics v =
           Dynamics.base_churn_rate = 2.0;
           mean_outage = 5.;
           mean_global_outage = 5. }
+    | Trace_pareto ->
+        (* Trace-shaped session churn layered over the baseline Poisson
+           processes: heavy-tailed per-origin up/down sessions on the
+           dedicated trace stream (lib/churn). *)
+        { base with Dynamics.session_churn = Some Churn.pareto_day }
+    | Trace_lognormal ->
+        { base with Dynamics.session_churn = Some Churn.lognormal_day }
   in
   { base with Dynamics.route_cache_size = v.cache; delta_states = v.delta }
 
@@ -229,6 +274,18 @@ let builtin =
         [ ("churn", [ "calm"; "baseline"; "heavy" ]);
           ("adversary", [ "0.02"; "0.05" ]);
           ("guards", [ "none"; "3/30"; "1/never" ]) ] };
+    { name = "churn-trace-day";
+      doc = "base-small-day under trace-shaped session churn \
+             (lib/churn heavy-tailed up/down sessions)";
+      base = Some "base-small-day";
+      overlay = [ ("churn", "trace-pareto") ];
+      axes = [] };
+    { name = "m2-consensus";
+      doc = "M2 frozen vs living consensus: guard exposure drift when \
+             relays arrive, depart and drift in bandwidth each hour";
+      base = Some "base-small-day";
+      overlay = [ ("adversary", "0.05") ];
+      axes = [ ("consensus", [ "frozen-m2"; "live-hourly" ]) ] };
     { name = "seeds-2x2";
       doc = "tiny CI matrix: two seeds x two churn models over a quarter \
              of a Small day";

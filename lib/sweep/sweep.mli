@@ -22,6 +22,22 @@ type churn =
   | Calm      (** quarter of the baseline churn rate, half the resets *)
   | Baseline  (** the size's stock dynamics configuration *)
   | Heavy     (** the churn-heavy day of the AB-cache/AB-delta ablations *)
+  | Trace_pareto
+      (** baseline plus trace-shaped session churn with Pareto up/down
+          laws ({!Churn.pareto_day}) on the dedicated trace stream *)
+  | Trace_lognormal
+      (** as {!Trace_pareto} with log-normal laws
+          ({!Churn.lognormal_day}) *)
+
+(** Which consensus the M2 long-term stage of a cell runs against.
+    [Frozen] skips the M2 stage entirely (the pre-existing behaviour);
+    the other three run {!Long_term} — on the frozen snapshot or on a
+    living {!Consensus_dynamics} epoch sequence. *)
+type consensus =
+  | Frozen      (** no M2 stage *)
+  | Frozen_m2   (** M2 against the scenario's frozen snapshot *)
+  | Live_hourly (** M2 under hourly epochs, default hazards *)
+  | Live_heavy  (** M2 under hourly epochs, heavy arrival/departure *)
 
 type guards =
   | No_guards  (** a fresh entry relay every day — pre-guard Tor *)
@@ -33,6 +49,7 @@ type vars = {
   seed : int;
   days : float;       (** simulated measurement duration *)
   churn : churn;
+  consensus : consensus;
   cache : int;        (** route-cache LRU capacity; 0 disables *)
   delta : int;        (** delta-state LRU capacity; 0 disables *)
   obs : bool;         (** Qs_obs instrumentation during the cell *)
@@ -42,9 +59,10 @@ type vars = {
 }
 
 val default_vars : vars
-(** Small scenario, seed 1, one simulated day, baseline churn, stock
-    cache/delta capacities (512), instrumentation on, no adversary,
-    3 guards / 30 days, the paper's 300 s exposure threshold. *)
+(** Small scenario, seed 1, one simulated day, baseline churn, frozen
+    consensus (no M2 stage), stock cache/delta capacities (512),
+    instrumentation on, no adversary, 3 guards / 30 days, the paper's
+    300 s exposure threshold. *)
 
 val known_keys : (string * string) list
 (** Every overlay/axis key with a one-line description — the vocabulary
@@ -55,6 +73,7 @@ val set : vars -> key:string -> value:string -> (vars, string) result
     names the problem (unknown key, parse failure, out of range). *)
 
 val churn_to_string : churn -> string
+val consensus_to_string : consensus -> string
 val guards_to_string : guards -> string
 
 val canonical_bindings : vars -> (string * string) list
@@ -91,7 +110,8 @@ type entry = {
 
 val builtin : entry list
 (** The shipped registry: the ported AB-cache/AB-delta/AB-obs ablations,
-    the paper's exposure matrix, and the tiny CI matrix. *)
+    the paper's exposure matrix, the trace-churn day, the M2
+    frozen-vs-living consensus pair, and the tiny CI matrix. *)
 
 val find : entry list -> string -> entry option
 

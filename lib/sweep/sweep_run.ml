@@ -54,6 +54,7 @@ type headline = {
   frac_at_least_2 : float;
   max_extras : int;
   compromise : (float * float) option;
+  m2_compromised : float option;
 }
 
 type cell_result = {
@@ -82,6 +83,7 @@ let vars_fields (v : Sweep.vars) =
     ("seed", string_of_int v.Sweep.seed);
     ("days", jfloat v.Sweep.days);
     ("churn", jstr (Sweep.churn_to_string v.Sweep.churn));
+    ("consensus", jstr (Sweep.consensus_to_string v.Sweep.consensus));
     ("cache", string_of_int v.Sweep.cache);
     ("delta", string_of_int v.Sweep.delta);
     ("obs", if v.Sweep.obs then "true" else "false");
@@ -95,7 +97,7 @@ let guards_l = function
 
 let summary_json_of ~entry ~slug ~fingerprint (c : Sweep.cell)
     (m : Measurement.t) (f3l : Path_changes.t) (f3r : As_exposure.t)
-    compromise =
+    compromise m2 =
   let v = c.Sweep.vars in
   let d = m.Measurement.dyn_stats in
   jobj
@@ -144,7 +146,22 @@ let summary_json_of ~entry ~slug ~fingerprint (c : Sweep.cell)
               [ ("f", jfloat v.Sweep.adversary);
                 ("l", string_of_int (guards_l v.Sweep.guards));
                 ("static", jfloat static);
-                ("dynamic", jfloat dynamic) ] ) ]
+                ("dynamic", jfloat dynamic) ] );
+      ( "m2",
+        match m2 with
+        | None -> "null"
+        | Some (o : Long_term.outcome) ->
+            jobj_inline
+              [ ("consensus", jstr (Sweep.consensus_to_string v.Sweep.consensus));
+                ("clients", string_of_int o.Long_term.clients);
+                ("compromised_fraction",
+                 jfloat o.Long_term.compromised_fraction);
+                ("median_day",
+                 (match o.Long_term.median_day with
+                  | None -> "null"
+                  | Some d -> string_of_int d));
+                ("mean_exposed_per_day",
+                 jfloat o.Long_term.mean_exposed_per_day) ] ) ]
 
 (* The cell's qs-obs/1 export is rebuilt by hand from the cell's own
    deterministic numbers rather than snapshotted from the process-wide
@@ -153,7 +170,7 @@ let summary_json_of ~entry ~slug ~fingerprint (c : Sweep.cell)
    reuse the exact export renderer, so downstream tooling sees one
    schema. *)
 let cell_samples (m : Measurement.t) (f3l : Path_changes.t)
-    (f3r : As_exposure.t) total_changes =
+    (f3r : As_exposure.t) total_changes m2 =
   let d = m.Measurement.dyn_stats in
   let c name value : Metrics.sample =
     { Metrics.name = "sweep.cell." ^ name;
@@ -169,7 +186,7 @@ let cell_samples (m : Measurement.t) (f3l : Path_changes.t)
   in
   List.sort
     (fun (a : Metrics.sample) b -> String.compare a.Metrics.name b.Metrics.name)
-    [ c "updates" d.Dynamics.updates_emitted;
+    ([ c "updates" d.Dynamics.updates_emitted;
       c "announces" d.Dynamics.announces;
       c "withdraws" d.Dynamics.withdraws;
       c "churn_events" d.Dynamics.churn_events;
@@ -185,6 +202,12 @@ let cell_samples (m : Measurement.t) (f3l : Path_changes.t)
       g "max_ratio" f3l.Path_changes.max_ratio;
       g "frac_at_least_2" f3r.As_exposure.frac_at_least_2;
       g "frac_above_5" f3r.As_exposure.frac_above_5 ]
+     @ (match m2 with
+        | None -> []
+        | Some (o : Long_term.outcome) ->
+            [ c "m2_clients" o.Long_term.clients;
+              g "m2_compromised_fraction" o.Long_term.compromised_fraction;
+              g "m2_mean_exposed_per_day" o.Long_term.mean_exposed_per_day ]))
 
 let run_cell entry_name (c : Sweep.cell) =
   let v = c.Sweep.vars in
@@ -212,6 +235,47 @@ let run_cell entry_name (c : Sweep.cell) =
            ~l:(guards_l v.Sweep.guards) f3r)
     else None
   in
+  (* The M2 long-term stage, gated on the consensus key: a small client
+     cohort against the cell's adversary fraction, on the frozen snapshot
+     or under living epochs. Deterministic in the cell vars: its RNG is
+     the scenario's dedicated "sweep-m2" stream and the epoch sequence is
+     a pure function of (scenario, params, horizon). *)
+  let m2 =
+    match v.Sweep.consensus with
+    | Sweep.Frozen -> None
+    | cm ->
+        let n_guards, rotation_days, use_guards =
+          match v.Sweep.guards with
+          | Sweep.No_guards -> (1, max_int, false)
+          | Sweep.Guards { n; rotation_days } -> (n, rotation_days, true)
+        in
+        let config =
+          { Long_term.default_config with
+            Long_term.n_clients = 8;
+            horizon_days = 30;
+            f = (if v.Sweep.adversary > 0. then v.Sweep.adversary else 0.05);
+            n_guards;
+            rotation_days;
+            use_guards }
+        in
+        let living =
+          match cm with
+          | Sweep.Frozen | Sweep.Frozen_m2 -> None
+          | Sweep.Live_hourly ->
+              Some
+                (Long_term.living_consensus
+                   ~horizon_days:config.Long_term.horizon_days scenario)
+          | Sweep.Live_heavy ->
+              Some
+                (Long_term.living_consensus
+                   ~params:Consensus_dynamics.heavy_params
+                   ~horizon_days:config.Long_term.horizon_days scenario)
+        in
+        Some
+          (Long_term.run
+             ~rng:(Scenario.rng_for scenario "sweep-m2")
+             ~config ?living ~exec:inline scenario)
+  in
   let fingerprint =
     Scenario.fingerprint ~exec:inline
       ~params:(Sweep.canonical_bindings v) scenario
@@ -230,7 +294,9 @@ let run_cell entry_name (c : Sweep.cell) =
       f3r_cases = List.length f3r.As_exposure.extras;
       frac_at_least_2 = f3r.As_exposure.frac_at_least_2;
       max_extras = f3r.As_exposure.max_extras;
-      compromise }
+      compromise;
+      m2_compromised =
+        Option.map (fun o -> o.Long_term.compromised_fraction) m2 }
   in
   { cell = c;
     slug;
@@ -238,9 +304,9 @@ let run_cell entry_name (c : Sweep.cell) =
     headline;
     summary_json =
       summary_json_of ~entry:entry_name ~slug ~fingerprint c m f3l f3r
-        compromise;
+        compromise m2;
     metrics_json =
-      Export.metrics_json_string (cell_samples m f3l f3r total_changes) }
+      Export.metrics_json_string (cell_samples m f3l f3r total_changes m2) }
 
 let index_json_of (entry : Sweep.entry) results =
   jobj
@@ -294,17 +360,20 @@ let print_table ppf t =
   fprintf ppf "@[<v>matrix %s: %d cell%s@,"
     t.entry.Sweep.name (List.length t.results)
     (if List.length t.results = 1 then "" else "s");
-  fprintf ppf "%-42s %9s %8s %8s %8s %6s %10s@,"
-    "cell" "updates" "changes" "f3l>1" "f3r>=2" "max" "compromise";
+  fprintf ppf "%-42s %9s %8s %8s %8s %6s %10s %8s@,"
+    "cell" "updates" "changes" "f3l>1" "f3r>=2" "max" "compromise" "m2";
   List.iter
     (fun r ->
       let h = r.headline in
-      fprintf ppf "%-42s %9d %8d %8.3f %8.3f %6d %10s@,"
+      fprintf ppf "%-42s %9d %8d %8.3f %8.3f %6d %10s %8s@,"
         r.slug h.updates h.path_changes h.frac_above_one h.frac_at_least_2
         h.max_extras
         (match h.compromise with
          | None -> "-"
-         | Some (_, dynamic) -> Printf.sprintf "%.4f" dynamic))
+         | Some (_, dynamic) -> Printf.sprintf "%.4f" dynamic)
+        (match h.m2_compromised with
+         | None -> "-"
+         | Some f -> Printf.sprintf "%.4f" f))
     t.results;
   fprintf ppf "@]"
 

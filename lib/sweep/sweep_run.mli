@@ -28,6 +28,9 @@ type headline = {
   compromise : (float * float) option;
       (** (static, dynamic) mean compromise probability, when the cell
           declares an adversary fraction > 0 *)
+  m2_compromised : float option;
+      (** M2 compromised-client fraction, when the cell's [consensus]
+          key requests the long-term stage (anything but [frozen]) *)
 }
 
 type cell_result = {

@@ -41,10 +41,16 @@ let check p =
   if p.n_guards + p.n_exits - p.n_guard_exits > p.n_relays then
     invalid_arg "Consensus.generate: more flagged relays than relays"
 
-let generate ~rng ?(params = paper_params) g addressing =
-  check params;
-  (* Candidate hosting locations: hosting ASes with their weight, plus an
-     eligible subset of plain stubs (most ASes host no relay at all). *)
+type sites = {
+  site_ases : (Asn.t * float) array;
+  site_weights : float array;
+}
+
+(* Candidate hosting locations: hosting ASes with their weight, plus an
+   eligible subset of plain stubs (most ASes host no relay at all).
+   Shared with [Consensus_dynamics], which places arriving relays on the
+   same weighted site distribution the base consensus used. *)
+let candidate_sites ~rng ?(params = paper_params) g addressing =
   let hosting = Topo_gen.hosting_ases g in
   let plain_stubs =
     As_graph.ases g
@@ -59,14 +65,27 @@ let generate ~rng ?(params = paper_params) g addressing =
     int_of_float (params.eligible_stub_fraction *. float_of_int (Array.length plain_stubs))
   in
   let eligible = Rng.sample_without_replacement rng n_eligible plain_stubs in
-  let candidates =
+  let site_ases =
     Array.of_list
       (List.map (fun (a, w) -> (a, w)) hosting
        @ List.map (fun a -> (a, params.stub_weight)) eligible)
   in
-  if Array.length candidates = 0 then
-    invalid_arg "Consensus.generate: no AS can host relays";
-  let weights = Array.map snd candidates in
+  if Array.length site_ases = 0 then
+    invalid_arg "Consensus.candidate_sites: no AS can host relays";
+  { site_ases; site_weights = Array.map snd site_ases }
+
+let pick_site ~rng sites = fst sites.site_ases.(Rng.weighted_index rng sites.site_weights)
+
+let sample_bandwidth ~rng params =
+  max params.bandwidth_min
+    (int_of_float
+       (Rng.pareto rng ~alpha:params.bandwidth_alpha
+          ~xmin:(float_of_int params.bandwidth_min)
+        *. 10.))
+
+let generate ~rng ?(params = paper_params) g addressing =
+  check params;
+  let sites = candidate_sites ~rng ~params g addressing in
   (* Assign flags by shuffling indices: the first [n_guard_exits] are
      Guard+Exit, then guard-only, then exit-only. *)
   let order = Array.init params.n_relays (fun i -> i) in
@@ -99,15 +118,9 @@ let generate ~rng ?(params = paper_params) g addressing =
   let relays =
     Array.init params.n_relays
       (fun i ->
-         let asn, _ = candidates.(Rng.weighted_index rng weights) in
+         let asn = pick_site ~rng sites in
          let ip = fresh_ip asn in
-         let bandwidth =
-           max params.bandwidth_min
-             (int_of_float
-                (Rng.pareto rng ~alpha:params.bandwidth_alpha
-                   ~xmin:(float_of_int params.bandwidth_min)
-                 *. 10.))
-         in
+         let bandwidth = sample_bandwidth ~rng params in
          Relay.make
            ~nickname:(Printf.sprintf "relay%04d" i)
            ~ip ~asn ~bandwidth ~flags:flags_of.(i))

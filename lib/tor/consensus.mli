@@ -28,6 +28,26 @@ val paper_params : gen_params
 val small_params : gen_params
 (** A ~230-relay consensus for tests, same proportions. *)
 
+type sites = {
+  site_ases : (Asn.t * float) array;  (** candidate AS with placement weight *)
+  site_weights : float array;         (** the weights alone, for sampling *)
+}
+(** Where relays may live: hosting ASes with their hosting weight plus a
+    sampled eligible subset of plain stubs. *)
+
+val candidate_sites :
+  rng:Rng.t -> ?params:gen_params -> As_graph.t -> Addressing.t -> sites
+(** The placement distribution {!generate} draws from, exposed so
+    {!Consensus_dynamics} places arriving relays on the same sites.
+    @raise Invalid_argument if no AS can host relays. *)
+
+val pick_site : rng:Rng.t -> sites -> Asn.t
+(** One weighted site draw. *)
+
+val sample_bandwidth : rng:Rng.t -> gen_params -> int
+(** One heavy-tailed consensus-weight draw (Pareto, floored at
+    [bandwidth_min]). *)
+
 val generate :
   rng:Rng.t -> ?params:gen_params -> As_graph.t -> Addressing.t -> t
 (** @raise Invalid_argument if the flag counts are inconsistent

@@ -38,6 +38,33 @@ let pick_guards ~rng consensus ~n =
     invalid_arg "Path_selection.pick_guards: not enough guards";
   loop [] 0
 
+(* Under a living consensus a client's guard set must survive relay
+   churn: guards still listed keep their slot (updated to the new
+   consensus record, so drifted bandwidths are visible), departed ones
+   are replaced by fresh weighted draws that respect the same
+   relay-/16 diversity constraint against the kept set. *)
+let refresh_guards ~rng consensus guards =
+  let pool = Consensus.guards consensus in
+  let kept = List.filter_map (fun g -> List.find_opt (Relay.equal g) pool) guards in
+  let need = List.length guards - List.length kept in
+  if need = 0 then (kept, 0)
+  else begin
+    if List.length pool < List.length guards then
+      invalid_arg "Path_selection.refresh_guards: not enough guards";
+    let rec loop chosen need attempts =
+      if need = 0 then chosen
+      else if attempts > 200 * List.length guards then
+        invalid_arg
+          "Path_selection.refresh_guards: cannot satisfy diversity constraint"
+      else begin
+        let g = pick_weighted ~rng pool in
+        if conflict_with_any g chosen then loop chosen need (attempts + 1)
+        else loop (chosen @ [ g ]) (need - 1) (attempts + 1)
+      end
+    in
+    (loop kept need 0, need)
+  end
+
 let build_circuit ~rng consensus ~guards =
   match guards with
   | [] -> invalid_arg "Path_selection.build_circuit: empty guard set"

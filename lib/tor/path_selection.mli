@@ -25,6 +25,18 @@ val pick_guards : rng:Rng.t -> Consensus.t -> n:int -> Relay.t list
 val conflict : Relay.t -> Relay.t -> bool
 (** Same relay or same /16 — Tor's circuit-diversity constraint. *)
 
+val refresh_guards :
+  rng:Rng.t -> Consensus.t -> Relay.t list -> Relay.t list * int
+(** [refresh_guards ~rng consensus guards] reconciles a guard set with a
+    newer consensus ({!Consensus_dynamics}): guards still listed keep
+    their slot (updated to the new consensus record, so bandwidth drift
+    is visible), departed ones are replaced by fresh bandwidth-weighted
+    draws respecting {!conflict} against the kept set. Returns the
+    refreshed set (kept first, in order) and the number replaced; draws
+    from [rng] only when a replacement is needed, so a frozen consensus
+    costs nothing. @raise Invalid_argument if the consensus cannot
+    satisfy the set size. *)
+
 val build_circuit :
   rng:Rng.t -> Consensus.t -> guards:Relay.t list -> circuit
 (** Picks the entry uniformly among [guards] (Tor rotates across its guard

@@ -101,6 +101,26 @@ let test_ccdf_quantile_boundaries () =
   expect "singleton, q = 0.5" 7. 0.5 one;
   expect "singleton, q = 0" 7. 0. one
 
+(* Regression: [of_samples []] used to raise, forcing callers (F3L/F3R)
+   to pad a phantom [0.] sample — which made a quiet measurement report
+   [at 0. = 1.0] instead of an empty tail. The empty CCDF must be total:
+   zero size, zero mass everywhere, no points, no quantile. *)
+let test_ccdf_empty_total () =
+  let c = Ccdf.of_samples [] in
+  check_int "size" 0 (Ccdf.size c);
+  check_float "at 0" 0. (Ccdf.at c 0.);
+  check_float "at -1" 0. (Ccdf.at c (-1.));
+  check_float "at 1e9" 0. (Ccdf.at c 1e9);
+  check_bool "no points" true (Ccdf.points c = []);
+  check_bool "eval_at carries zeros" true
+    (Ccdf.eval_at c [ 1.; 2. ] = [ (1., 0.); (2., 0.) ]);
+  (match Ccdf.quantile_where c 0.5 with
+   | None -> ()
+   | Some _ -> Alcotest.fail "empty sample must have no quantile");
+  match Ccdf.quantile_where c 0. with
+  | None -> ()
+  | Some _ -> Alcotest.fail "empty sample must have no quantile at q = 0"
+
 let prop_ccdf_in_unit_interval =
   QCheck.Test.make ~name:"ccdf values in [0,1]" ~count:200
     QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 50) (map Float.abs float)) float)
@@ -267,7 +287,9 @@ let () =
          Alcotest.test_case "quantile below tail mass" `Quick
            test_ccdf_quantile_below_tail_mass;
          Alcotest.test_case "quantile boundaries" `Quick
-           test_ccdf_quantile_boundaries ]
+           test_ccdf_quantile_boundaries;
+         Alcotest.test_case "empty sample is total" `Quick
+           test_ccdf_empty_total ]
        @ qsuite [ prop_ccdf_in_unit_interval ]);
       ("correlation",
        [ Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;

@@ -79,6 +79,31 @@ let test_scenario_rng_for_no_hash_collision () =
   check_bool "constructed (seed, name) collision gets distinct streams" true
     (not (Int64.equal a b))
 
+(* The stream-name audit: [Scenario.stream_names] is the registry of
+   every name the codebase passes to [rng_for]; it must be sorted and
+   duplicate-free, and across random seeds every registered name must
+   derive a pairwise-distinct stream seed (no two experiments share
+   randomness). [rng_for] reads only the seed, so the property rebinds
+   the seed on one built scenario instead of rebuilding per case. *)
+let test_scenario_stream_names_registry () =
+  let names = Scenario.stream_names in
+  check_bool "sorted" true (List.sort String.compare names = names);
+  check_int "duplicate-free" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let prop_stream_names_pairwise_distinct =
+  QCheck.Test.make ~name:"rng_for pairwise distinct over stream_names"
+    ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+       let s = { (Lazy.force scenario) with Scenario.seed } in
+       let derived =
+         List.map (fun n -> Rng.int64 (Scenario.rng_for s n))
+           Scenario.stream_names
+       in
+       List.length (List.sort_uniq Int64.compare derived)
+       = List.length Scenario.stream_names)
+
 (* ---- Measurement ------------------------------------------------------ *)
 
 let test_measurement_cells_consistent () =
@@ -498,7 +523,10 @@ let () =
          Alcotest.test_case "client AS sampling" `Quick test_scenario_client_as;
          Alcotest.test_case "rng_for stability" `Quick test_scenario_rng_for_stable;
          Alcotest.test_case "rng_for collision regression" `Quick
-           test_scenario_rng_for_no_hash_collision ]);
+           test_scenario_rng_for_no_hash_collision;
+         Alcotest.test_case "stream-name registry" `Quick
+           test_scenario_stream_names_registry ]
+       @ qsuite [ prop_stream_names_pairwise_distinct ]);
       ("measurement",
        [ Alcotest.test_case "cells consistent" `Quick test_measurement_cells_consistent;
          Alcotest.test_case "baseline residency" `Quick

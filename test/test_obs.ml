@@ -366,6 +366,8 @@ let golden = {gold|{
 "counters": {
   "attack.hijack.runs": 0,
   "attack.interception.runs": 0,
+  "churn.trace_entities": 0,
+  "churn.trace_events": 0,
   "dynamics.announces": 21636,
   "dynamics.churn_events": 883,
   "dynamics.delta_steps": 10931,

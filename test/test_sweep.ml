@@ -45,7 +45,11 @@ let test_set_parses_and_ranges () =
   check_bool "negative cache rejected" true (rejected "cache" "-4");
   check_bool "negative threshold rejected" true (rejected "threshold" "-1");
   check_bool "guards 0/10 rejected" true (rejected "guards" "0/10");
-  check_bool "guards garbage rejected" true (rejected "guards" "three")
+  check_bool "guards garbage rejected" true (rejected "guards" "three");
+  check_bool "trace churn accepted" true (not (rejected "churn" "trace-pareto"));
+  check_bool "bad consensus rejected" true (rejected "consensus" "thawed");
+  check_bool "living consensus accepted" true
+    (not (rejected "consensus" "live-hourly"))
 
 let test_canonical_bindings () =
   (* Values normalize: any accepted spelling of one value must produce
@@ -83,7 +87,13 @@ let test_dynamics_presets () =
   check_bool "heavy raises the churn rate" true
     (heavy.Dynamics.base_churn_rate > base.Dynamics.base_churn_rate);
   check_bool "heavy shortens outages" true
-    (heavy.Dynamics.mean_outage < base.Dynamics.mean_outage)
+    (heavy.Dynamics.mean_outage < base.Dynamics.mean_outage);
+  let trace = Sweep.dynamics (set_exn v "churn" "trace-pareto") in
+  check_bool "trace layers session churn over baseline rates" true
+    (trace.Dynamics.session_churn = Some Churn.pareto_day
+     && trace.Dynamics.base_churn_rate = base.Dynamics.base_churn_rate);
+  check_bool "other models leave session churn off" true
+    (heavy.Dynamics.session_churn = None)
 
 (* ---- expansion --------------------------------------------------------- *)
 
@@ -193,6 +203,29 @@ let test_run_rejects_invalid () =
            (fun (i : Sweep.invalid) -> i.Sweep.problem = "bad-value")
            invalids)
 
+(* Trace-shaped churn under the determinism contract: a tiny matrix based
+   on the builtin churn-trace-day entry (so its base chain and overlay are
+   exercised) must render byte-identical artifacts at jobs=1, jobs=4 and
+   on rerun — the generator's merge order, not the worker count, decides
+   every byte. *)
+let test_run_trace_churn_deterministic () =
+  let e =
+    { Sweep.name = "trace-tiny";
+      doc = "churn-trace-day shortened for the unit suite";
+      base = Some "churn-trace-day";
+      overlay = [ ("days", "0.05") ];
+      axes = [] }
+  in
+  let at jobs = Pool.with_pool ~jobs (fun exec -> strip_run (run_exn ~exec e)) in
+  let r1 = at 1 in
+  check_bool "jobs=1 equals jobs=4" true (r1 = at 4);
+  check_bool "rerun identical" true (r1 = at 1);
+  (match run_exn e with
+   | { Sweep_run.results = [ r ]; _ } ->
+       check_bool "trace cell sees churn events" true
+         (r.Sweep_run.headline.Sweep_run.updates > 0)
+   | _ -> Alcotest.fail "expected one cell")
+
 let test_write_layout () =
   let t = run_exn (tiny_axes [ ("seed", [ "1" ]) ]) in
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "qs-sweep-test" in
@@ -229,4 +262,6 @@ let () =
            test_run_obs_ablation;
          Alcotest.test_case "invalid entry rejected" `Quick
            test_run_rejects_invalid;
+         Alcotest.test_case "trace churn deterministic across jobs" `Quick
+           test_run_trace_churn_deterministic;
          Alcotest.test_case "results layout" `Quick test_write_layout ]) ]

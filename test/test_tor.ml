@@ -206,6 +206,99 @@ let test_client_guard_rotation () =
   check_bool "timestamp updated" true
     (client.Path_selection.guards_chosen_at = 31. *. 86400.)
 
+(* ---- Consensus dynamics ----------------------------------------------- *)
+
+let dynamics_for seed ~n_epochs =
+  let rng, g, addressing, base = setup seed in
+  let cd =
+    Consensus_dynamics.generate ~rng:(Rng.split rng)
+      ~gen:Consensus.small_params ~n_epochs g addressing base
+  in
+  (base, cd)
+
+(* Conservation: epoch 0 is the base verbatim, and every later epoch's
+   population is exactly the previous one plus arrivals minus
+   departures — relays never appear or vanish unaccounted. *)
+let prop_epoch_conservation =
+  QCheck.Test.make ~name:"epoch populations conserve joins and departures"
+    ~count:10 QCheck.(int_bound 10_000)
+    (fun seed ->
+       let base, cd = dynamics_for seed ~n_epochs:8 in
+       let n i = Consensus.n_relays (Consensus_dynamics.at cd i).Consensus_dynamics.consensus in
+       let ok0 =
+         n 0 = Consensus.n_relays base
+         && (Consensus_dynamics.at cd 0).Consensus_dynamics.joined = []
+         && (Consensus_dynamics.at cd 0).Consensus_dynamics.departed = []
+       in
+       let rec check i =
+         if i >= Consensus_dynamics.n_epochs cd then true
+         else
+           let e = Consensus_dynamics.at cd i in
+           n i = n (i - 1)
+                 + List.length e.Consensus_dynamics.joined
+                 - List.length e.Consensus_dynamics.departed
+           && check (i + 1)
+       in
+       ok0 && check 1)
+
+(* Guard refresh against a moving epoch: the refreshed set has the same
+   size, every member comes from the new epoch's guard pool, surviving
+   guards keep their identity (same IP — only the consensus record moves),
+   and the reported replacement count is exactly the number of departed
+   guards. *)
+let prop_refresh_guards_against_epochs =
+  QCheck.Test.make ~name:"refresh_guards tracks epoch departures exactly"
+    ~count:10 QCheck.(int_bound 10_000)
+    (fun seed ->
+       let _, cd = dynamics_for seed ~n_epochs:6 in
+       let rng = Rng.of_int (seed + 77) in
+       let epoch0 = (Consensus_dynamics.at cd 0).Consensus_dynamics.consensus in
+       let guards = ref (Path_selection.pick_guards ~rng epoch0 ~n:3) in
+       let ok = ref true in
+       for i = 1 to Consensus_dynamics.n_epochs cd - 1 do
+         let c = (Consensus_dynamics.at cd i).Consensus_dynamics.consensus in
+         let pool = Consensus.guards c in
+         let departed =
+           List.filter
+             (fun g -> not (List.exists (Relay.equal g) pool))
+             !guards
+         in
+         let refreshed, replaced = Path_selection.refresh_guards ~rng c !guards in
+         if List.length refreshed <> List.length !guards then ok := false;
+         if replaced <> List.length departed then ok := false;
+         List.iter
+           (fun g ->
+              if not (List.exists (Relay.equal g) pool) then ok := false)
+           refreshed;
+         List.iter
+           (fun g ->
+              if not (List.exists (Relay.equal g) departed
+                      || List.exists (Relay.equal g) refreshed)
+              then ok := false)
+           !guards;
+         guards := refreshed
+       done;
+       !ok)
+
+(* Golden: 24 epochs from seed 7 render to one pinned digest — the
+   byte-stability witness for the whole generator (any change to the draw
+   order, the site machinery or the rendering shows up here). *)
+let test_consensus_dynamics_golden () =
+  let _, cd = dynamics_for 7 ~n_epochs:24 in
+  let digest = Digest.to_hex (Digest.string (Consensus_dynamics.to_string cd)) in
+  Alcotest.(check string) "24-epoch rendering digest"
+    "4cacffc178f4f278cbc736be6317058c" digest
+
+let test_consensus_dynamics_time_index () =
+  let _, cd = dynamics_for 7 ~n_epochs:4 in
+  check_int "negative clamps to 0" 0 (Consensus_dynamics.epoch_of_time cd (-5.));
+  check_int "mid-epoch" 1 (Consensus_dynamics.epoch_of_time cd 3_700.);
+  check_int "past the end clamps" 3
+    (Consensus_dynamics.epoch_of_time cd 1e9);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Consensus_dynamics.at: epoch out of range")
+    (fun () -> ignore (Consensus_dynamics.at cd 4))
+
 let prop_circuits_always_valid =
   QCheck.Test.make ~name:"circuits never violate diversity" ~count:30
     QCheck.(int_bound 10_000)
@@ -256,6 +349,13 @@ let () =
        [ Alcotest.test_case "relay mapping" `Quick test_tor_prefix_mapping;
          Alcotest.test_case "entries consistent" `Quick
            test_tor_prefix_entries_consistent ]);
+      ("consensus_dynamics",
+       [ Alcotest.test_case "24-epoch golden digest" `Quick
+           test_consensus_dynamics_golden;
+         Alcotest.test_case "time indexing" `Quick
+           test_consensus_dynamics_time_index ]
+       @ qsuite
+           [ prop_epoch_conservation; prop_refresh_guards_against_epochs ]);
       ("path_selection",
        [ Alcotest.test_case "bandwidth weighting" `Quick test_pick_weighted_bias;
          Alcotest.test_case "/16 conflict rule" `Quick test_conflict_rule;

@@ -21,20 +21,29 @@
 #                       — delta-vs-full propagation equivalence: byte-
 #                         identical update streams and final tables
 #                         across 5 seeds, cache on/off, jobs 1 vs 4;
-#   7. quicksand serve --replay --verify-batch
+#   7. quicksand check --suite churn
+#                       — the trace-churn statistical harness across
+#                         5 seeds: distribution shape (mean/median/KS),
+#                         stream structure (monotonicity, D/U
+#                         alternation, accounting), byte-identity across
+#                         reruns and worker counts;
+#   8. quicksand serve --replay --verify-batch
 #                       — the streaming service over a seeded churn-heavy
 #                         half day with injected hijacks: C1c alert set
 #                         must equal the batch detector's exactly and the
 #                         windowed cells must be bit-identical to
 #                         Measurement.run's (exit 1 on any divergence);
-#   8. quicksand sweep --matrix seeds-2x2
+#   9. quicksand sweep --matrix seeds-2x2
 #                       — the tiny 2x2 matrix (two seeds x two churn
 #                         models, quarter of a Small day) three times:
 #                         jobs=1, jobs=4, and a jobs=1 rerun. Every cell's
 #                         summary.json must carry the qs-sweep/1 schema,
 #                         and the three results directories must be
 #                         byte-identical — fingerprints stable across
-#                         reruns, outputs independent of the worker count.
+#                         reruns, outputs independent of the worker count;
+#  10. quicksand sweep --matrix churn-trace-day
+#                       — the trace-shaped churn day, same three-way
+#                         byte-identity gate (jobs=1 vs jobs=4 vs rerun).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -56,6 +65,9 @@ dune exec bin/quicksand.exe -- check --suite static --scale small
 
 echo "== quicksand check --suite delta (Small, 5 seeds)"
 dune exec bin/quicksand.exe -- check --suite delta --scale small
+
+echo "== quicksand check --suite churn (5 seeds)"
+dune exec bin/quicksand.exe -- check --suite churn
 
 echo "== quicksand serve --replay --verify-batch (Small, seed 1, half a day)"
 dune exec bin/quicksand.exe -- serve --replay --verify-batch --scale small \
@@ -79,5 +91,15 @@ for cell_summary in "$sweep_tmp"/j1/cell-*/summary.json; do
 done
 diff -r "$sweep_tmp/j1" "$sweep_tmp/j4"
 diff -r "$sweep_tmp/j1" "$sweep_tmp/j1-rerun"
+
+echo "== quicksand sweep --matrix churn-trace-day (jobs 1 vs 4 vs rerun)"
+dune exec bin/quicksand.exe -- sweep --matrix churn-trace-day --jobs 1 \
+  --out "$sweep_tmp/trace-j1"
+dune exec bin/quicksand.exe -- sweep --matrix churn-trace-day --jobs 4 \
+  --out "$sweep_tmp/trace-j4"
+dune exec bin/quicksand.exe -- sweep --matrix churn-trace-day --jobs 1 \
+  --out "$sweep_tmp/trace-j1-rerun"
+diff -r "$sweep_tmp/trace-j1" "$sweep_tmp/trace-j4"
+diff -r "$sweep_tmp/trace-j1" "$sweep_tmp/trace-j1-rerun"
 
 echo "CI OK"
